@@ -1,0 +1,662 @@
+// Package pi2bench holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (one testing.B benchmark per
+// artifact), the ablation benches for the design choices called out in
+// DESIGN.md, and micro-benchmarks of the per-packet decision paths.
+//
+// The figure benchmarks run the corresponding experiment driver in quick
+// mode (durations scaled ~5×) and attach the figure's headline numbers as
+// custom metrics, so `go test -bench=.` doubles as a compact reproduction
+// report. The full-length tables come from `go run ./cmd/pi2bench all`.
+package pi2bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/core"
+	"pi2/internal/experiments"
+	"pi2/internal/fluid"
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+	"pi2/internal/tcp"
+	"pi2/internal/traffic"
+)
+
+func quickOpts(i int) experiments.Options {
+	// Vary the seed per iteration so repeated benchmark iterations are
+	// not byte-identical cached work.
+	return experiments.Options{Quick: true, Seed: int64(i + 1)}
+}
+
+// --- analytic figures (Appendix B fluid model) ---
+
+// BenchmarkFig4Bode regenerates the Figure 4 Bode margins (PIE tune
+// variants over the full load range).
+func BenchmarkFig4Bode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := fluid.Figure4(13)
+		if len(pts) != 13 {
+			b.Fatal("points")
+		}
+	}
+}
+
+// BenchmarkFig5Tune regenerates the Figure 5 tune-vs-√(2p) table.
+func BenchmarkFig5Tune(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(fluid.Figure5(49)) != 49 {
+			b.Fatal("points")
+		}
+	}
+}
+
+// BenchmarkFig7Bode regenerates the Figure 7 margins (reno pie / reno pi2 /
+// scal pi) and reports PI2's gain-margin flatness across the sweep.
+func BenchmarkFig7Bode(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		pts := fluid.Figure7(13)
+		lo, hi := 1e9, -1e9
+		for _, mp := range pts {
+			g := mp.ByLine["reno pi2"].GainMarginDB
+			if g < lo {
+				lo = g
+			}
+			if g > hi {
+				hi = g
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "gm-spread-dB")
+}
+
+// --- simulation figures ---
+
+// BenchmarkFig6VaryingIntensity runs the PI vs PI2 varying-intensity
+// comparison (Figure 6) and reports both mean queue delays.
+func BenchmarkFig6VaryingIntensity(b *testing.B) {
+	var r *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6(quickOpts(i))
+	}
+	b.ReportMetric(r.PI.Sojourn.Mean()*1e3, "pi-meanQ-ms")
+	b.ReportMetric(r.PI2.Sojourn.Mean()*1e3, "pi2-meanQ-ms")
+}
+
+// BenchmarkFig11TrafficLoads runs the three-load PIE vs PI2 comparison.
+func BenchmarkFig11TrafficLoads(b *testing.B) {
+	var r *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11(quickOpts(i))
+	}
+	b.ReportMetric(r.Runs["50 TCP"]["pi2"].Sojourn.Mean()*1e3, "pi2-50tcp-meanQ-ms")
+	b.ReportMetric(r.Runs["50 TCP"]["pie"].Sojourn.Mean()*1e3, "pie-50tcp-meanQ-ms")
+}
+
+// BenchmarkFig12VaryingCapacity runs the capacity-step test and reports the
+// post-drop queue peaks (the paper's 510 ms vs 250 ms comparison).
+func BenchmarkFig12VaryingCapacity(b *testing.B) {
+	var r *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12(quickOpts(i))
+	}
+	b.ReportMetric(r.PeakPIEms, "pie-peak-ms")
+	b.ReportMetric(r.PeakPI2ms, "pi2-peak-ms")
+}
+
+// BenchmarkFig13VaryingIntensity runs the 10 Mb/s staged-flows comparison.
+func BenchmarkFig13VaryingIntensity(b *testing.B) {
+	var r *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13(quickOpts(i))
+	}
+	b.ReportMetric(r.PI2.DelaySeries.Max()*1e3, "pi2-maxQ-ms")
+}
+
+// BenchmarkFig14DelayCDF runs the 5/20 ms target CDF comparison and reports
+// PI2's P99 at the 5 ms target under 20 flows.
+func BenchmarkFig14DelayCDF(b *testing.B) {
+	var r *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14(quickOpts(i))
+	}
+	for _, c := range r.Cases {
+		if c.Target == 5*time.Millisecond && c.Load == "20 TCP" {
+			b.ReportMetric(c.PI2.Sojourn.Percentile(99)*1e3, "pi2-p99-ms")
+		}
+	}
+}
+
+// BenchmarkFig15RateBalance runs the headline coexistence cell (40 Mb/s,
+// 10 ms, Cubic vs DCTCP) under both AQMs and reports the two ratios.
+func BenchmarkFig15RateBalance(b *testing.B) {
+	var pie, pi2 experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts := experiments.CoexistenceSweep(quickOpts(i))
+		for _, p := range pts {
+			if p.LinkMbps == 40 && p.RTT == 10*time.Millisecond && p.Pair == "dctcp" {
+				if p.AQM == "pie" {
+					pie = p
+				} else {
+					pi2 = p
+				}
+			}
+		}
+	}
+	b.ReportMetric(pie.Ratio, "pie-ratio")
+	b.ReportMetric(pi2.Ratio, "pi2-ratio")
+}
+
+// BenchmarkFig16QueueDelay reports the same sweep's queue-delay metric.
+func BenchmarkFig16QueueDelay(b *testing.B) {
+	var pt experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pt = sweepCell(quickOpts(i), "pi2", "dctcp")
+	}
+	b.ReportMetric(pt.QMean*1e3, "qmean-ms")
+	b.ReportMetric(pt.QP99*1e3, "qp99-ms")
+}
+
+// BenchmarkFig17Probability reports the coupled probabilities of the
+// headline cell (the paper's p_s = 2·√p_c relation).
+func BenchmarkFig17Probability(b *testing.B) {
+	var pt experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pt = sweepCell(quickOpts(i), "pi2", "dctcp")
+	}
+	b.ReportMetric(pt.ProbA.Mean*100, "classic-prob-pct")
+	b.ReportMetric(pt.ProbB.Mean*100, "scalable-prob-pct")
+}
+
+// BenchmarkFig18Utilization reports the utilization quantiles.
+func BenchmarkFig18Utilization(b *testing.B) {
+	var pt experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pt = sweepCell(quickOpts(i), "pi2", "dctcp")
+	}
+	b.ReportMetric(pt.Util.Mean*100, "util-mean-pct")
+	b.ReportMetric(pt.Util.P1*100, "util-p1-pct")
+}
+
+func sweepCell(o experiments.Options, aqmName, pair string) experiments.SweepPoint {
+	pts := experiments.CoexistenceSweep(o)
+	for _, p := range pts {
+		if p.LinkMbps == 40 && p.RTT == 10*time.Millisecond && p.AQM == aqmName && p.Pair == pair {
+			return p
+		}
+	}
+	panic("cell not found")
+}
+
+// BenchmarkFig19FlowCombos runs the flow-count combination grid and reports
+// the worst per-flow imbalance for PI2+DCTCP.
+func BenchmarkFig19FlowCombos(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 1
+		for _, p := range experiments.FlowCombos(quickOpts(i), nil) {
+			if p.AQM != "pi2" || p.Pair != "dctcp" || p.NA == 0 || p.NB == 0 {
+				continue
+			}
+			r := p.RatioPerFlow
+			if r < 1 && r > 0 {
+				r = 1 / r
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-imbalance")
+}
+
+// BenchmarkFig20NormalizedRates reports the P1 normalized rate across the
+// combos (how far the slowest flow falls below fair share).
+func BenchmarkFig20NormalizedRates(b *testing.B) {
+	var p1 float64
+	for i := 0; i < b.N; i++ {
+		p1 = 1e9
+		for _, p := range experiments.FlowCombos(quickOpts(i), nil) {
+			if p.AQM != "pi2" || p.Pair != "dctcp" || p.NA == 0 || p.NB == 0 {
+				continue
+			}
+			if v := p.NormB.P1; v > 0 && v < p1 {
+				p1 = v
+			}
+		}
+	}
+	b.ReportMetric(p1, "min-norm-rate")
+}
+
+// BenchmarkTable1Defaults renders the Table 1 parameter table.
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PrintTable1(io.Discard)
+	}
+}
+
+// BenchmarkFCTWorkload runs the web-like short-flow comparison (the
+// Section 6 statement that completion times match across PIE/bare-PIE/PI2).
+func BenchmarkFCTWorkload(b *testing.B) {
+	var r *experiments.FCTResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigFCT(quickOpts(i))
+	}
+	b.ReportMetric(r.ByAQM["pi2"].Mean*1e3, "pi2-fct-ms")
+	b.ReportMetric(r.ByAQM["pie"].Mean*1e3, "pie-fct-ms")
+}
+
+// --- ablation benches (design choices from DESIGN.md) ---
+
+// BenchmarkSquareVsDoubleRand ablates the two squaring implementations of
+// Section 4 / Figure 8: multiplying p′·p′ (software form) versus comparing
+// two random draws (hardware form).
+func BenchmarkSquareVsDoubleRand(b *testing.B) {
+	q := fakeQueueInfo{}
+	for _, tc := range []struct {
+		name string
+		mult bool
+	}{{"double-rand", false}, {"multiply", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			q2 := core.New(core.Config{UseMultiply: tc.mult}, rand.New(rand.NewSource(1)))
+			warmPI2(q2, 200*time.Millisecond)
+			p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = q2.Enqueue(p, q, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPIEHeuristics compares full PIE against bare-PIE on the
+// same workload; the paper saw no difference in any experiment.
+func BenchmarkAblationPIEHeuristics(b *testing.B) {
+	for _, name := range []string{"pie", "bare-pie"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				factory, _ := experiments.FactoryByName(name, 20*time.Millisecond)
+				res := experiments.Run(experiments.Scenario{
+					Seed:        int64(i + 1),
+					LinkRateBps: 10e6,
+					NewAQM:      factory,
+					Bulk: []traffic.BulkFlowSpec{
+						{CC: "reno", Count: 5, RTT: 100 * time.Millisecond},
+					},
+					Duration: 30 * time.Second,
+					WarmUp:   10 * time.Second,
+				})
+				mean = res.Sojourn.Mean()
+			}
+			b.ReportMetric(mean*1e3, "meanQ-ms")
+		})
+	}
+}
+
+// BenchmarkAblationDelayEstimator compares PI2 with direct sojourn
+// timestamps (its native design) against Linux-PIE-style departure-rate
+// estimation.
+func BenchmarkAblationDelayEstimator(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		est  aqm.DelayEstimator
+	}{
+		{"sojourn", aqm.EstimateBySojourn},
+		{"rate", aqm.EstimateByRate},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.Run(experiments.Scenario{
+					Seed:        int64(i + 1),
+					LinkRateBps: 10e6,
+					NewAQM: func(rng *rand.Rand) aqm.AQM {
+						return core.New(core.Config{Estimator: tc.est}, rng)
+					},
+					Bulk: []traffic.BulkFlowSpec{
+						{CC: "reno", Count: 5, RTT: 100 * time.Millisecond},
+					},
+					Duration: 30 * time.Second,
+					WarmUp:   10 * time.Second,
+				})
+				mean = res.Sojourn.Mean()
+			}
+			b.ReportMetric(mean*1e3, "meanQ-ms")
+		})
+	}
+}
+
+// BenchmarkAblationCouplingK compares the analytic k = 1.19 of equation
+// (14) against the empirically validated k = 2 on the headline coexistence
+// cell.
+func BenchmarkAblationCouplingK(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		k    float64
+	}{{"k=1.19", 1.19}, {"k=2", 2}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.Run(experiments.Scenario{
+					Seed:        int64(i + 1),
+					LinkRateBps: 40e6,
+					NewAQM: func(rng *rand.Rand) aqm.AQM {
+						return core.New(core.Config{K: tc.k}, rng)
+					},
+					Bulk: []traffic.BulkFlowSpec{
+						{CC: "cubic", Count: 1, RTT: 10 * time.Millisecond},
+						{CC: "dctcp", Count: 1, RTT: 10 * time.Millisecond},
+					},
+					Duration: 40 * time.Second,
+					WarmUp:   15 * time.Second,
+				})
+				if d := res.Groups[1].MeanPerFlow(); d > 0 {
+					ratio = res.Groups[0].MeanPerFlow() / d
+				}
+			}
+			b.ReportMetric(ratio, "cubic/dctcp")
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+type fakeQueueInfo struct{}
+
+func (fakeQueueInfo) BacklogBytes() int                       { return 30000 }
+func (fakeQueueInfo) BacklogPackets() int                     { return 20 }
+func (fakeQueueInfo) HeadSojourn(time.Duration) time.Duration { return 15 * time.Millisecond }
+func (fakeQueueInfo) CapacityBps() float64                    { return 10e6 }
+
+// warmPI2 drives the controller to a nonzero operating point.
+func warmPI2(q2 *core.PI2, sojourn time.Duration) {
+	var qi aqm.QueueInfo = warmQueue{sojourn: sojourn}
+	for i := 0; i < 100; i++ {
+		q2.Update(qi, time.Duration(i)*32*time.Millisecond)
+	}
+}
+
+type warmQueue struct{ sojourn time.Duration }
+
+func (w warmQueue) BacklogBytes() int                       { return 100000 }
+func (w warmQueue) BacklogPackets() int                     { return 67 }
+func (w warmQueue) HeadSojourn(time.Duration) time.Duration { return w.sojourn }
+func (w warmQueue) CapacityBps() float64                    { return 10e6 }
+
+// BenchmarkPI2EnqueueDecision measures the per-packet cost of PI2's
+// decision (the paper's "less computationally expensive" claim vs PIE).
+func BenchmarkPI2EnqueueDecision(b *testing.B) {
+	q2 := core.New(core.Config{}, rand.New(rand.NewSource(1)))
+	warmPI2(q2, 30*time.Millisecond)
+	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+	q := fakeQueueInfo{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q2.Enqueue(p, q, 0)
+	}
+}
+
+// BenchmarkPIEEnqueueDecision measures PIE's drop_early path with all
+// heuristics active and the controller warmed past its burst allowance
+// (a cold PIE short-circuits to accept, which would flatter it).
+func BenchmarkPIEEnqueueDecision(b *testing.B) {
+	cfg := aqm.DefaultPIEConfig()
+	// Measure the decision with a live probability: sojourn-based delay
+	// (the rate estimator has no dequeue feed in a micro-bench, which
+	// would leave p at 0 and short-circuit the decision).
+	cfg.Estimator = aqm.EstimateBySojourn
+	pe := aqm.NewPIE(cfg, rand.New(rand.NewSource(1)))
+	var qi aqm.QueueInfo = warmQueue{sojourn: 30 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		pe.Update(qi, time.Duration(i)*32*time.Millisecond)
+	}
+	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pe.Enqueue(p, qi, 0)
+	}
+}
+
+// BenchmarkPI2Update measures the periodic control-law update.
+func BenchmarkPI2Update(b *testing.B) {
+	q2 := core.New(core.Config{}, rand.New(rand.NewSource(1)))
+	var qi aqm.QueueInfo = warmQueue{sojourn: 25 * time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q2.Update(qi, time.Duration(i)*32*time.Millisecond)
+	}
+}
+
+// BenchmarkPIEUpdate measures PIE's update with auto-tune and caps.
+func BenchmarkPIEUpdate(b *testing.B) {
+	cfg := aqm.DefaultPIEConfig()
+	cfg.Estimator = aqm.EstimateBySojourn
+	pe := aqm.NewPIE(cfg, rand.New(rand.NewSource(1)))
+	var qi aqm.QueueInfo = warmQueue{sojourn: 25 * time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe.Update(qi, time.Duration(i)*32*time.Millisecond)
+	}
+}
+
+// BenchmarkSimulatorEventLoop measures raw event throughput of the engine.
+func BenchmarkSimulatorEventLoop(b *testing.B) {
+	s := sim.New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkLinkPacketPath measures the full enqueue→serialize→deliver path.
+func BenchmarkLinkPacketPath(b *testing.B) {
+	s := sim.New(1)
+	delivered := 0
+	l := link.New(s, link.Config{RateBps: 1e12}, func(*packet.Packet) { delivered++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Enqueue(packet.NewData(1, int64(i), packet.MSS, packet.NotECT))
+		if i%64 == 0 {
+			s.RunUntil(s.Now() + time.Microsecond)
+		}
+	}
+	s.Run()
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkEndToEndSimSecond measures how fast the full stack simulates one
+// virtual second of the Figure 11a scenario (5 Reno flows at 10 Mb/s).
+func BenchmarkEndToEndSimSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i + 1))
+		d := link.NewDispatcher()
+		l := link.New(s, link.Config{
+			RateBps: 10e6,
+			AQM:     core.New(core.Config{}, s.RNG()),
+		}, d.Deliver)
+		for id := 1; id <= 5; id++ {
+			ep := tcp.New(s, l, tcp.Config{ID: id, CC: tcp.Reno{}, BaseRTT: 100 * time.Millisecond})
+			d.Register(id, ep.DeliverData)
+			ep.Start()
+		}
+		s.RunUntil(time.Second)
+	}
+}
+
+// BenchmarkAblationSACK compares NewReno and SACK recovery for a Classic
+// flow sharing a PI2 queue with DCTCP — loss-recovery efficiency is one of
+// the two reasons the measured coexistence ratio sits below 1 (see
+// EXPERIMENTS.md deviation 3).
+func BenchmarkAblationSACK(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		sack bool
+	}{{"newreno", false}, {"sack", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				s := sim.New(int64(i + 1))
+				d := link.NewDispatcher()
+				l := link.New(s, link.Config{
+					RateBps: 40e6,
+					AQM:     core.New(core.Config{}, s.RNG()),
+				}, d.Deliver)
+				cubic := tcp.New(s, l, tcp.Config{
+					ID: 1, CC: &tcp.Cubic{}, BaseRTT: 10 * time.Millisecond, SACK: tc.sack,
+				})
+				dctcp := tcp.New(s, l, tcp.Config{
+					ID: 2, CC: &tcp.DCTCP{}, ECN: tcp.ECNScalable, BaseRTT: 10 * time.Millisecond,
+				})
+				d.Register(1, cubic.DeliverData)
+				d.Register(2, dctcp.DeliverData)
+				cubic.Start()
+				dctcp.Start()
+				s.RunUntil(15 * time.Second)
+				cubic.Goodput.Reset(s.Now())
+				dctcp.Goodput.Reset(s.Now())
+				s.RunUntil(45 * time.Second)
+				if r := dctcp.Goodput.RateBps(s.Now()); r > 0 {
+					ratio = cubic.Goodput.RateBps(s.Now()) / r
+				}
+			}
+			b.ReportMetric(ratio, "cubic/dctcp")
+		})
+	}
+}
+
+// BenchmarkAblationDelayedAcks compares per-packet ACKs against stretch
+// ACKs (every 2nd/4th segment) on the Figure 11a load: testbed stacks ack
+// every other segment, which halves the Reno growth rate and slightly
+// lowers the steady-state window constant.
+func BenchmarkAblationDelayedAcks(b *testing.B) {
+	for _, every := range []int{1, 2, 4} {
+		every := every
+		b.Run(fmt.Sprintf("ackevery=%d", every), func(b *testing.B) {
+			var meanQ float64
+			for i := 0; i < b.N; i++ {
+				s := sim.New(int64(i + 1))
+				d := link.NewDispatcher()
+				l := link.New(s, link.Config{
+					RateBps: 10e6,
+					AQM:     core.New(core.Config{}, s.RNG()),
+				}, d.Deliver)
+				for id := 1; id <= 5; id++ {
+					ep := tcp.New(s, l, tcp.Config{
+						ID: id, CC: tcp.Reno{}, BaseRTT: 100 * time.Millisecond,
+						AckEvery: every,
+					})
+					d.Register(id, ep.DeliverData)
+					ep.Start()
+				}
+				s.RunUntil(30 * time.Second)
+				meanQ = l.Sojourn.Mean()
+			}
+			b.ReportMetric(meanQ*1e3, "meanQ-ms")
+		})
+	}
+}
+
+// BenchmarkAblationHyStart measures slow-start overshoot with and without
+// the HyStart exit for a single Cubic flow into a PI2 queue.
+func BenchmarkAblationHyStart(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"hystart", false}, {"classic-ss", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				s := sim.New(int64(i + 1))
+				d := link.NewDispatcher()
+				l := link.New(s, link.Config{
+					RateBps: 40e6,
+					AQM:     core.New(core.Config{}, s.RNG()),
+				}, d.Deliver)
+				ep := tcp.New(s, l, tcp.Config{
+					ID: 1, CC: &tcp.Cubic{DisableHyStart: tc.disable},
+					BaseRTT: 20 * time.Millisecond,
+				})
+				d.Register(1, ep.DeliverData)
+				ep.Start()
+				peak = 0
+				probe := s.Every(10*time.Millisecond, func() {
+					if q := l.QueueDelayNow().Seconds(); q > peak {
+						peak = q
+					}
+				})
+				s.RunUntil(5 * time.Second)
+				probe.Stop()
+			}
+			b.ReportMetric(peak*1e3, "peakQ-ms")
+		})
+	}
+}
+
+// BenchmarkCurvyREDVsPI2 compares the DualQ draft's example AQM with PI2 on
+// the coexistence cell: both couple, but Curvy RED pushes back with
+// standing delay where PI2 holds a fixed target.
+func BenchmarkCurvyREDVsPI2(b *testing.B) {
+	for _, name := range []string{"pi2", "curvy-red"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var meanQ, ratio float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.Run(experiments.Scenario{
+					Seed:        int64(i + 1),
+					LinkRateBps: 40e6,
+					NewAQM: func(rng *rand.Rand) aqm.AQM {
+						if name == "pi2" {
+							return core.New(core.Config{}, rng)
+						}
+						return aqm.NewCurvyRED(aqm.CurvyREDConfig{}, rng)
+					},
+					Bulk: []traffic.BulkFlowSpec{
+						{CC: "cubic", Count: 1, RTT: 10 * time.Millisecond},
+						{CC: "dctcp", Count: 1, RTT: 10 * time.Millisecond},
+					},
+					Duration: 40 * time.Second,
+					WarmUp:   15 * time.Second,
+				})
+				meanQ = res.Sojourn.Mean()
+				if d := res.Groups[1].MeanPerFlow(); d > 0 {
+					ratio = res.Groups[0].MeanPerFlow() / d
+				}
+			}
+			b.ReportMetric(meanQ*1e3, "meanQ-ms")
+			b.ReportMetric(ratio, "cubic/dctcp")
+		})
+	}
+}
+
+// BenchmarkDualQExtension runs the DualPI2 comparison (single coupled queue
+// vs dual queue) and reports the L-queue latency advantage.
+func BenchmarkDualQExtension(b *testing.B) {
+	var r *experiments.DualQResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.DualQ(quickOpts(i), 1, 1)
+	}
+	b.ReportMetric(r.SingleLDelayMs.Mean, "single-L-ms")
+	b.ReportMetric(r.DualLDelayMs.Mean, "dual-L-ms")
+	b.ReportMetric(r.DualRatio, "dual-ratio")
+}

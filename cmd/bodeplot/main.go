@@ -1,0 +1,55 @@
+// Command bodeplot emits the analytic series behind Figures 4, 5 and 7 as
+// tab-separated values (the paper generated these with Octave scripts; this
+// tool regenerates them from the Appendix B fluid model).
+//
+// Usage:
+//
+//	bodeplot -fig {4|5|7} [-points N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pi2/internal/fluid"
+)
+
+func main() {
+	fig := flag.Int("fig", 7, "figure to generate: 4, 5 or 7")
+	points := flag.Int("points", 60, "number of x-axis points")
+	flag.Parse()
+
+	switch *fig {
+	case 4:
+		fmt.Println("p\tline\tgain_margin_db\tphase_margin_deg\tomega180\tomegac")
+		emitMargins(fluid.Figure4(*points))
+	case 5:
+		fmt.Println("p\ttune\tsqrt_2p")
+		for _, tp := range fluid.Figure5(*points) {
+			fmt.Printf("%.6g\t%.6g\t%.6g\n", tp.P, tp.Tune, tp.SqrtTwoP)
+		}
+	case 7:
+		fmt.Println("p_prime\tline\tgain_margin_db\tphase_margin_deg\tomega180\tomegac")
+		emitMargins(fluid.Figure7(*points))
+	default:
+		fmt.Fprintln(os.Stderr, "bodeplot: -fig must be 4, 5 or 7")
+		os.Exit(2)
+	}
+}
+
+func emitMargins(pts []fluid.MarginPoint) {
+	for _, mp := range pts {
+		lines := make([]string, 0, len(mp.ByLine))
+		for name := range mp.ByLine {
+			lines = append(lines, name)
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			m := mp.ByLine[line]
+			fmt.Printf("%.6g\t%s\t%.3f\t%.3f\t%.4g\t%.4g\n",
+				mp.P, line, m.GainMarginDB, m.PhaseMarginDeg, m.Omega180, m.OmegaC)
+		}
+	}
+}

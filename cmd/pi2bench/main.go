@@ -1,0 +1,175 @@
+// Command pi2bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pi2bench [-quick] [-seed N] <experiment> [experiment...]
+//
+// Experiments: fig4 fig5 fig6 fig7 fig11 fig12 fig13 fig14 fig15 fig16
+// fig17 fig18 fig19 fig20 sweep combos table1 fct dualq all.
+//
+// fig15–fig18 share one sweep; asking for several of them (or "sweep")
+// runs the grid once and prints every requested table. Output is
+// tab-separated with '#' comment lines, one block per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pi2/internal/experiments"
+	"pi2/internal/fluid"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiments (~5x shorter)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig11 fig12 fig13 fig14\n")
+		fmt.Fprintf(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig20\n")
+		fmt.Fprintf(os.Stderr, "             sweep combos table1 fct dualq arrangements rttfair all\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		if a == "all" {
+			for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7",
+				"fig11", "fig12", "fig13", "fig14", "sweep", "combos", "fct", "dualq", "arrangements", "rttfair"} {
+				want[e] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+
+	out := os.Stdout
+	if want["table1"] {
+		experiments.PrintTable1(out)
+		fmt.Fprintln(out)
+	}
+	if want["fig4"] {
+		printFig4(o)
+	}
+	if want["fig5"] {
+		printFig5(o)
+	}
+	if want["fig7"] {
+		printFig7(o)
+	}
+	if want["fig6"] {
+		experiments.Fig6(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["fig11"] {
+		experiments.Fig11(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["fig12"] {
+		experiments.Fig12(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["fig13"] {
+		experiments.Fig13(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["fig14"] {
+		experiments.Fig14(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["sweep"] || want["fig15"] || want["fig16"] || want["fig17"] || want["fig18"] {
+		pts := experiments.CoexistenceSweep(o)
+		if want["sweep"] || want["fig15"] {
+			experiments.PrintFig15(out, pts)
+			fmt.Fprintln(out)
+		}
+		if want["sweep"] || want["fig16"] {
+			experiments.PrintFig16(out, pts)
+			fmt.Fprintln(out)
+		}
+		if want["sweep"] || want["fig17"] {
+			experiments.PrintFig17(out, pts)
+			fmt.Fprintln(out)
+		}
+		if want["sweep"] || want["fig18"] {
+			experiments.PrintFig18(out, pts)
+			fmt.Fprintln(out)
+		}
+	}
+	if want["combos"] || want["fig19"] || want["fig20"] {
+		pts := experiments.FlowCombos(o, nil)
+		if want["combos"] || want["fig19"] {
+			experiments.PrintFig19(out, pts)
+			fmt.Fprintln(out)
+		}
+		if want["combos"] || want["fig20"] {
+			experiments.PrintFig20(out, pts)
+			fmt.Fprintln(out)
+		}
+	}
+	if want["fct"] {
+		experiments.FigFCT(o).Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["rttfair"] {
+		experiments.PrintRTTFair(out, experiments.RTTFairSweep(o))
+		fmt.Fprintln(out)
+	}
+	if want["dualq"] || want["arrangements"] {
+		dq := experiments.DualQ(o, 1, 1)
+		if want["dualq"] {
+			dq.Print(out)
+			fmt.Fprintln(out)
+		}
+		if want["arrangements"] {
+			experiments.PrintArrangements(out, dq, experiments.FQArrangement(o, 1, 1))
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+func bodePoints(quick bool) int {
+	if quick {
+		return 13
+	}
+	return 49
+}
+
+func printFig4(o experiments.Options) {
+	fmt.Println("# Figure 4: Bode margins, Reno + PI on p (R0=100ms, alpha=0.125*tune, beta=1.25*tune, T=32ms)")
+	fmt.Println("p\tline\tgain_margin_db\tphase_margin_deg")
+	for _, mp := range fluid.Figure4(bodePoints(o.Quick)) {
+		for _, line := range []string{"tune=auto", "tune=1", "tune=1/2", "tune=1/8"} {
+			m := mp.ByLine[line]
+			fmt.Printf("%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
+		}
+	}
+	fmt.Println()
+}
+
+func printFig5(o experiments.Options) {
+	fmt.Println("# Figure 5: PIE 'tune' steps vs sqrt(2p)")
+	fmt.Println("p\ttune\tsqrt_2p")
+	for _, tp := range fluid.Figure5(bodePoints(o.Quick)) {
+		fmt.Printf("%.3g\t%.6g\t%.6g\n", tp.P, tp.Tune, tp.SqrtTwoP)
+	}
+	fmt.Println()
+}
+
+func printFig7(o experiments.Options) {
+	fmt.Println("# Figure 7: Bode margins (R0=100ms, T=32ms): reno pie / reno pi2 / scal pi")
+	fmt.Println("p_prime\tline\tgain_margin_db\tphase_margin_deg")
+	for _, mp := range fluid.Figure7(bodePoints(o.Quick)) {
+		for _, line := range []string{"reno pie", "reno pi2", "scal pi"} {
+			m := mp.ByLine[line]
+			fmt.Printf("%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
+		}
+	}
+	fmt.Println()
+}

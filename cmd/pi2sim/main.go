@@ -1,0 +1,149 @@
+// Command pi2sim runs a single bottleneck scenario and prints its queue
+// delay / throughput time series and a summary — a generic driver for
+// exploring configurations beyond the paper's fixed experiments.
+//
+// Example:
+//
+//	pi2sim -aqm pi2 -link 10M -rtt 100ms -flows 5 -cc reno -dur 100s
+//	pi2sim -aqm pi2 -link 40M -rtt 10ms -flows 1 -cc cubic -flows2 1 -cc2 dctcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pi2/internal/experiments"
+	"pi2/internal/plot"
+	"pi2/internal/traffic"
+)
+
+func main() {
+	var (
+		aqmName  = flag.String("aqm", "pi2", "AQM: pi2, pie, bare-pie, pi, red, codel, taildrop")
+		linkStr  = flag.String("link", "10M", "bottleneck rate in bits/s (suffix K/M/G)")
+		rtt      = flag.Duration("rtt", 100*time.Millisecond, "base RTT")
+		flows    = flag.Int("flows", 5, "number of flows in the first group")
+		cc       = flag.String("cc", "reno", "congestion control of the first group")
+		flows2   = flag.Int("flows2", 0, "number of flows in the second group")
+		cc2      = flag.String("cc2", "dctcp", "congestion control of the second group")
+		udp      = flag.Float64("udp", 0, "additional unresponsive UDP load in bits/s")
+		dur      = flag.Duration("dur", 100*time.Second, "simulated duration")
+		warm     = flag.Duration("warmup", 0, "stats warm-up (default dur/4)")
+		target   = flag.Duration("target", 20*time.Millisecond, "AQM target delay")
+		seed     = flag.Int64("seed", 1, "random seed")
+		series   = flag.Bool("series", true, "print the 1 s time series")
+		sack     = flag.Bool("sack", false, "enable SACK loss recovery on all flows")
+		ackEvery = flag.Int("ackevery", 1, "delayed/stretch ACKs: acknowledge every Nth segment")
+		buffer   = flag.Int("buffer", 0, "bottleneck buffer in packets (default 40000)")
+		doPlot   = flag.Bool("plot", false, "render an ASCII chart of the queue-delay series")
+		config   = flag.String("config", "", "load the scenario from a JSON file instead of flags")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2sim:", err)
+			os.Exit(2)
+		}
+		sc, err := experiments.LoadScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2sim:", err)
+			os.Exit(2)
+		}
+		report(experiments.Run(sc), *series, *doPlot, "config:"+*config, sc.LinkRateBps)
+		return
+	}
+	rate, err := parseRate(*linkStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pi2sim:", err)
+		os.Exit(2)
+	}
+	factory, ok := experiments.FactoryByName(*aqmName, *target)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pi2sim: unknown AQM %q\n", *aqmName)
+		os.Exit(2)
+	}
+	if *warm == 0 {
+		*warm = *dur / 4
+	}
+
+	sc := experiments.Scenario{
+		Seed:        *seed,
+		LinkRateBps: rate,
+		NewAQM:      factory,
+		Duration:    *dur,
+		WarmUp:      *warm,
+	}
+	sc.BufferPackets = *buffer
+	sc.SACK = *sack
+	sc.AckEvery = *ackEvery
+	if *flows > 0 {
+		sc.Bulk = append(sc.Bulk, traffic.BulkFlowSpec{CC: *cc, Count: *flows, RTT: *rtt, Label: "group1"})
+	}
+	if *flows2 > 0 {
+		sc.Bulk = append(sc.Bulk, traffic.BulkFlowSpec{CC: *cc2, Count: *flows2, RTT: *rtt, Label: "group2"})
+	}
+	if *udp > 0 {
+		sc.UDP = []traffic.UDPSpec{{RateBps: *udp}}
+	}
+
+	res := experiments.Run(sc)
+	label := fmt.Sprintf("aqm=%s link=%.0f rtt=%v target=%v dur=%v", *aqmName, rate, *rtt, *target, *dur)
+	report(res, *series, *doPlot, label, rate)
+}
+
+// report prints the time series, summary block and optional chart.
+func report(res *experiments.Result, series, doPlot bool, label string, rateBps float64) {
+	if series {
+		fmt.Println("time_s\tqdelay_ms\tgoodput_mbps")
+		for i := range res.DelaySeries.Values {
+			fmt.Printf("%.0f\t%.2f\t%.3f\n",
+				res.DelaySeries.Times[i].Seconds(),
+				res.DelaySeries.Values[i]*1e3,
+				res.GoodputSeries.Values[i]/1e6)
+		}
+	}
+	fmt.Printf("# %s\n", label)
+	fmt.Printf("# qdelay: mean=%.2fms p25=%.2fms p99=%.2fms\n",
+		res.Sojourn.Mean()*1e3, res.Sojourn.Percentile(25)*1e3, res.Sojourn.Percentile(99)*1e3)
+	fmt.Printf("# utilization=%.3f dropsAQM=%d dropsOverflow=%d marks=%d\n",
+		res.Utilization, res.DropsAQM, res.DropsOverflow, res.Marks)
+	for _, g := range res.Groups {
+		fmt.Printf("# group %s (%s): total=%.3f Mb/s per-flow mean=%.3f Mb/s marks=%d congestion-events=%d retx=%d\n",
+			g.Label, g.CC, g.Total()/1e6, g.MeanPerFlow()/1e6, g.Marks, g.CongestionEvents, g.Retransmissions)
+	}
+	fmt.Printf("# classic prob mean=%.4f p99=%.4f; events=%d\n",
+		res.ClassicProb.Mean(), res.ClassicProb.Percentile(99), res.Events)
+	if doPlot {
+		c := plot.Chart{
+			Title:  "queue delay, " + label,
+			XLabel: "time [s]", YLabel: "queue delay [ms]",
+		}
+		c.AddTimeSeries("qdelay", &res.DelaySeries, 1e3)
+		c.Render(os.Stdout)
+	}
+}
+
+// parseRate parses "10M", "2.5G", "400K" or plain bits/s.
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v * mult, nil
+}

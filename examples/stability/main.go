@@ -1,0 +1,55 @@
+// Stability: the Appendix B fluid model as an interactive report — why the
+// squaring linearizes the loop.
+//
+// It prints the Figure 7 Bode gain margins for the three loop transfer
+// functions, then computes how far the gains could be raised before any
+// operating point goes unstable (the paper raised them 2.5x; the analysis
+// shows how much headroom that choice left). Run with:
+//
+//	go run ./examples/stability
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pi2/internal/fluid"
+	"pi2/internal/plot"
+)
+
+func main() {
+	const (
+		T  = 32 * time.Millisecond
+		R0 = 100 * time.Millisecond
+	)
+
+	fmt.Println("Bode gain margins over load (R0 = 100 ms, T = 32 ms)")
+	pts := fluid.Figure7(25)
+	chart := plot.Chart{
+		Title:  "gain margin [dB] vs p' (log x rendered linearly by index)",
+		XLabel: "index over p' in [0.001, 1] (log-spaced)",
+		YLabel: "gain margin [dB]",
+	}
+	for _, line := range []string{"reno pie", "reno pi2", "scal pi"} {
+		x := make([]float64, len(pts))
+		y := make([]float64, len(pts))
+		for i, mp := range pts {
+			x[i] = float64(i)
+			y[i] = mp.ByLine[line].GainMarginDB
+		}
+		chart.Add(line, x, y)
+	}
+	chart.Render(os.Stdout)
+
+	fmt.Println("\nGain headroom from the PIE base gains (0.125, 1.25):")
+	base := fluid.LoopParams{AlphaHz: 0.125, BetaHz: 1.25, T: T, R0: R0}
+	pPrimes := []float64{0.001, 0.01, 0.1, 0.5, 1}
+	m := fluid.MaxStableGainScale(base, fluid.RenoPI2, pPrimes, 0.5, 32)
+	fmt.Printf("  squared output (PI2): stable up to %.1fx  (the paper uses 2.5x)\n", m)
+	pDirect := []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1}
+	md := fluid.MaxStableGainScale(base, fluid.RenoPIE, pDirect, 0.01, 32)
+	fmt.Printf("  direct p (plain PI):  stable up to %.2fx over the full load range\n", md)
+	fmt.Println("\nThe squaring flattens the gain margin across load, which is exactly")
+	fmt.Println("what lets PI2 run 2.5x hotter than PIE without a tuning table.")
+}

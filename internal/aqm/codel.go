@@ -1,0 +1,123 @@
+package aqm
+
+import (
+	"math"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// DequeueDropper is an optional AQM extension for algorithms that act at
+// dequeue time (CoDel drops at the head of the queue). The link consults it
+// for every departing packet and, on Drop, discards the packet and moves on
+// to the next one.
+type DequeueDropper interface {
+	// DequeueVerdict decides the fate of the packet leaving the queue.
+	DequeueVerdict(p *packet.Packet, q QueueInfo, now time.Duration) Verdict
+}
+
+// CoDelConfig parametrizes Controlled Delay (Nichols & Jacobson) — included
+// as a baseline and because PIE borrowed its use of time units for queue
+// measurement (Section 3).
+type CoDelConfig struct {
+	// Target sojourn time (default 5 ms).
+	Target time.Duration
+	// Interval is the sliding window for the minimum (default 100 ms).
+	Interval time.Duration
+	// ECN marks instead of dropping.
+	ECN bool
+}
+
+// CoDel is the Controlled Delay AQM (head drop, inverse-sqrt control law).
+type CoDel struct {
+	cfg CoDelConfig
+
+	firstAboveTime time.Duration
+	dropNext       time.Duration
+	count          int
+	lastCount      int
+	dropping       bool
+	drops          int
+}
+
+// NewCoDel builds a CoDel instance.
+func NewCoDel(cfg CoDelConfig) *CoDel {
+	if cfg.Target == 0 {
+		cfg.Target = 5 * time.Millisecond
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	return &CoDel{cfg: cfg}
+}
+
+// Name implements AQM.
+func (c *CoDel) Name() string { return "codel" }
+
+// Enqueue implements AQM; CoDel admits everything at enqueue.
+func (c *CoDel) Enqueue(*packet.Packet, QueueInfo, time.Duration) Verdict { return Accept }
+
+// Dequeue implements AQM.
+func (c *CoDel) Dequeue(*packet.Packet, QueueInfo, time.Duration) {}
+
+// UpdateInterval implements AQM.
+func (c *CoDel) UpdateInterval() time.Duration { return 0 }
+
+// Update implements AQM.
+func (c *CoDel) Update(QueueInfo, time.Duration) {}
+
+// controlLaw spaces drops at interval/sqrt(count).
+func (c *CoDel) controlLaw(t time.Duration) time.Duration {
+	return t + time.Duration(float64(c.cfg.Interval)/math.Sqrt(float64(c.count)))
+}
+
+// shouldDrop implements the "sojourn above target for a full interval" test.
+func (c *CoDel) shouldDrop(sojourn time.Duration, q QueueInfo, now time.Duration) bool {
+	if sojourn < c.cfg.Target || q.BacklogBytes() <= 2*packet.FullLen {
+		c.firstAboveTime = 0
+		return false
+	}
+	if c.firstAboveTime == 0 {
+		c.firstAboveTime = now + c.cfg.Interval
+		return false
+	}
+	return now >= c.firstAboveTime
+}
+
+// DequeueVerdict implements DequeueDropper: the CoDel state machine.
+func (c *CoDel) DequeueVerdict(p *packet.Packet, q QueueInfo, now time.Duration) Verdict {
+	sojourn := now - p.EnqueuedAt
+	okToDrop := c.shouldDrop(sojourn, q, now)
+
+	if c.dropping {
+		switch {
+		case !okToDrop:
+			c.dropping = false
+		case now >= c.dropNext:
+			c.count++
+			c.dropNext = c.controlLaw(c.dropNext)
+			return c.signal(p)
+		}
+		return Accept
+	}
+	if okToDrop {
+		c.dropping = true
+		// Resume at a higher rate if we were dropping recently.
+		if c.count > 2 && now-c.dropNext < 8*c.cfg.Interval {
+			c.count = c.count - 2
+		} else {
+			c.count = 1
+		}
+		c.dropNext = c.controlLaw(now)
+		return c.signal(p)
+	}
+	return Accept
+}
+
+func (c *CoDel) signal(p *packet.Packet) Verdict {
+	c.drops++
+	if c.cfg.ECN && p.ECN.ECNCapable() {
+		return Mark
+	}
+	return Drop
+}

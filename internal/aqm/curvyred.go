@@ -1,0 +1,173 @@
+package aqm
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// CurvyREDConfig parametrizes Curvy RED — the example coupled AQM given in
+// the DualQ Coupled draft the paper cites ([13]); PI2 was proposed as the
+// better-behaved alternative. Curvy RED derives its probabilities directly
+// from the instantaneous queuing delay with a convex ("curvy") ramp instead
+// of running a controller:
+//
+//	ramp  = clamp((τ − MinTh) / (MaxTh − MinTh), 0, 1)
+//	p_s   = ramp            (Scalable marking, linear)
+//	p_c   = ramp^Curviness  (Classic drop/mark)
+//
+// With Curviness = 2 the Classic signal is the square of the Scalable one,
+// the same coupling law as PI2 — but anchored to queue position like RED,
+// so it pushes back with standing delay rather than holding a target.
+type CurvyREDConfig struct {
+	// MinTh and MaxTh bound the delay ramp (defaults 5 ms and 100 ms).
+	MinTh, MaxTh time.Duration
+	// Curviness is the Classic exponent U (default 2).
+	Curviness float64
+	// Smoothing is the EWMA weight applied to the delay estimate per
+	// enqueue for the Classic signal (default 1/32; the Scalable signal
+	// is unsmoothed, as the draft specifies for immediate L4S marking).
+	Smoothing float64
+	// Estimator selects delay measurement (default head sojourn).
+	Estimator DelayEstimator
+}
+
+func (c *CurvyREDConfig) setDefaults() {
+	if c.MinTh == 0 {
+		c.MinTh = 5 * time.Millisecond
+	}
+	if c.MaxTh == 0 {
+		c.MaxTh = 100 * time.Millisecond
+	}
+	if c.Curviness == 0 {
+		c.Curviness = 2
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 1.0 / 32
+	}
+}
+
+// CurvyRED is the coupled ramp AQM.
+type CurvyRED struct {
+	cfg      CurvyREDConfig
+	rng      *rand.Rand
+	avgDelay float64 // seconds, EWMA for the Classic signal
+	lastPc   float64
+	lastPs   float64
+}
+
+// NewCurvyRED builds a Curvy RED instance.
+func NewCurvyRED(cfg CurvyREDConfig, rng *rand.Rand) *CurvyRED {
+	cfg.setDefaults()
+	return &CurvyRED{cfg: cfg, rng: rng}
+}
+
+// Name implements AQM.
+func (c *CurvyRED) Name() string { return "curvy-red" }
+
+// DropProbability implements ProbabilityReporter.
+func (c *CurvyRED) DropProbability() float64 { return c.lastPc }
+
+// ScalableProbability implements ScalableReporter.
+func (c *CurvyRED) ScalableProbability() float64 { return c.lastPs }
+
+func (c *CurvyRED) ramp(delay time.Duration) float64 {
+	if delay <= c.cfg.MinTh {
+		return 0
+	}
+	if delay >= c.cfg.MaxTh {
+		return 1
+	}
+	return float64(delay-c.cfg.MinTh) / float64(c.cfg.MaxTh-c.cfg.MinTh)
+}
+
+// Enqueue implements AQM: instantaneous ramp for Scalable packets, smoothed
+// curvy ramp for Classic packets.
+func (c *CurvyRED) Enqueue(p *packet.Packet, q QueueInfo, now time.Duration) Verdict {
+	delay := EstimateDelay(c.cfg.Estimator, q, nil, now)
+	c.avgDelay += c.cfg.Smoothing * (delay.Seconds() - c.avgDelay)
+
+	if p.ECN.Scalable() {
+		ps := c.ramp(delay)
+		c.lastPs = ps
+		if c.rng.Float64() < ps {
+			return Mark
+		}
+		return Accept
+	}
+	pc := math.Pow(c.ramp(time.Duration(c.avgDelay*float64(time.Second))), c.cfg.Curviness)
+	c.lastPc = pc
+	if c.rng.Float64() >= pc {
+		return Accept
+	}
+	if p.ECN == packet.ECT0 {
+		return Mark
+	}
+	return Drop
+}
+
+// Dequeue implements AQM.
+func (c *CurvyRED) Dequeue(*packet.Packet, QueueInfo, time.Duration) {}
+
+// UpdateInterval implements AQM (ramp AQMs need no timer).
+func (c *CurvyRED) UpdateInterval() time.Duration { return 0 }
+
+// Update implements AQM.
+func (c *CurvyRED) Update(QueueInfo, time.Duration) {}
+
+// StepMarkConfig parametrizes the step-threshold marker DCTCP was designed
+// for: every ECN-capable packet is CE-marked while the queuing delay
+// exceeds Threshold. Appendix A derives W = 2/p² for DCTCP under this
+// on-off marking (equation (12)) versus W = 2/p under probabilistic
+// marking (equation (11)) — the contrast that motivates driving Scalable
+// traffic from the PI controller's evenly distributed marks.
+type StepMarkConfig struct {
+	// Threshold is the marking step (default 1 ms).
+	Threshold time.Duration
+	// Estimator selects delay measurement (default head sojourn).
+	Estimator DelayEstimator
+}
+
+// StepMark is the step-threshold marking AQM.
+type StepMark struct {
+	cfg   StepMarkConfig
+	marks int
+}
+
+// NewStepMark builds a step marker.
+func NewStepMark(cfg StepMarkConfig) *StepMark {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = time.Millisecond
+	}
+	return &StepMark{cfg: cfg}
+}
+
+// Name implements AQM.
+func (s *StepMark) Name() string { return "step" }
+
+// Enqueue implements AQM: mark ECN-capable packets above the step;
+// Not-ECT packets are never dropped (rely on the buffer limit).
+func (s *StepMark) Enqueue(p *packet.Packet, q QueueInfo, now time.Duration) Verdict {
+	if !p.ECN.ECNCapable() {
+		return Accept
+	}
+	if EstimateDelay(s.cfg.Estimator, q, nil, now) > s.cfg.Threshold {
+		s.marks++
+		return Mark
+	}
+	return Accept
+}
+
+// Marks returns the total marks applied.
+func (s *StepMark) Marks() int { return s.marks }
+
+// Dequeue implements AQM.
+func (s *StepMark) Dequeue(*packet.Packet, QueueInfo, time.Duration) {}
+
+// UpdateInterval implements AQM.
+func (s *StepMark) UpdateInterval() time.Duration { return 0 }
+
+// Update implements AQM.
+func (s *StepMark) Update(QueueInfo, time.Duration) {}

@@ -1,0 +1,165 @@
+package aqm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+func TestCurvyREDBelowMinThAccepts(t *testing.T) {
+	c := NewCurvyRED(CurvyREDConfig{}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{sojourn: time.Millisecond}
+	for i := 0; i < 200; i++ {
+		for _, e := range []packet.ECN{packet.NotECT, packet.ECT1} {
+			if v := c.Enqueue(packet.NewData(1, 0, packet.MSS, e), q, 0); v != Accept {
+				t.Fatalf("verdict %v below MinTh", v)
+			}
+		}
+	}
+}
+
+func TestCurvyREDCouplingSquare(t *testing.T) {
+	// Mid-ramp: the Classic hit rate must approximate ramp², the
+	// Scalable rate ramp (the DualQ draft's coupling with U = 2).
+	cfg := CurvyREDConfig{MinTh: 10 * time.Millisecond, MaxTh: 90 * time.Millisecond, Smoothing: 1}
+	c := NewCurvyRED(cfg, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{sojourn: 50 * time.Millisecond} // ramp = (50-10)/(90-10) = 0.5
+	const n = 40000
+	classicHits, scalHits := 0, 0
+	for i := 0; i < n; i++ {
+		if c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0) == Drop {
+			classicHits++
+		}
+		if c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT1), q, 0) == Mark {
+			scalHits++
+		}
+	}
+	pc := float64(classicHits) / n
+	ps := float64(scalHits) / n
+	if math.Abs(pc-0.25) > 0.02 {
+		t.Errorf("classic rate %.3f, want ~0.25 (ramp^2)", pc)
+	}
+	if math.Abs(ps-0.5) > 0.02 {
+		t.Errorf("scalable rate %.3f, want ~0.5 (ramp)", ps)
+	}
+}
+
+func TestCurvyREDSaturatesAtMaxTh(t *testing.T) {
+	cfg := CurvyREDConfig{MinTh: time.Millisecond, MaxTh: 10 * time.Millisecond, Smoothing: 1}
+	c := NewCurvyRED(cfg, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{sojourn: time.Second}
+	c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0) // warm EWMA
+	for i := 0; i < 50; i++ {
+		if v := c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0); v != Drop {
+			t.Fatalf("verdict %v at saturation, want drop", v)
+		}
+		if v := c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT1), q, 0); v != Mark {
+			t.Fatalf("verdict %v at saturation, want mark", v)
+		}
+	}
+}
+
+func TestCurvyREDClassicECNMarked(t *testing.T) {
+	cfg := CurvyREDConfig{MinTh: time.Millisecond, MaxTh: 2 * time.Millisecond, Smoothing: 1}
+	c := NewCurvyRED(cfg, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{sojourn: time.Second}
+	c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT0), q, 0)
+	for i := 0; i < 50; i++ {
+		if v := c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT0), q, 0); v == Drop {
+			t.Fatal("dropped an ECT(0) packet")
+		}
+	}
+}
+
+func TestCurvyREDReporters(t *testing.T) {
+	c := NewCurvyRED(CurvyREDConfig{MinTh: 10 * time.Millisecond, MaxTh: 90 * time.Millisecond, Smoothing: 1}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{sojourn: 50 * time.Millisecond}
+	c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0)
+	c.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT1), q, 0)
+	if math.Abs(c.DropProbability()-0.25) > 1e-9 {
+		t.Errorf("pc = %v, want 0.25", c.DropProbability())
+	}
+	if math.Abs(c.ScalableProbability()-0.5) > 1e-9 {
+		t.Errorf("ps = %v, want 0.5", c.ScalableProbability())
+	}
+	if c.Name() != "curvy-red" || c.UpdateInterval() != 0 {
+		t.Error("identity")
+	}
+}
+
+func TestStepMarkThreshold(t *testing.T) {
+	s := NewStepMark(StepMarkConfig{Threshold: 5 * time.Millisecond})
+	below := &fakeQueue{sojourn: 4 * time.Millisecond}
+	above := &fakeQueue{sojourn: 6 * time.Millisecond}
+	if v := s.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT1), below, 0); v != Accept {
+		t.Errorf("below threshold: %v", v)
+	}
+	if v := s.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT1), above, 0); v != Mark {
+		t.Errorf("above threshold: %v", v)
+	}
+	if v := s.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), above, 0); v != Accept {
+		t.Errorf("Not-ECT must pass: %v", v)
+	}
+	if s.Marks() != 1 {
+		t.Errorf("marks = %d", s.Marks())
+	}
+}
+
+func TestPIEDerandomizationBounds(t *testing.T) {
+	cfg := BarePIEConfig()
+	cfg.Derandomize = true
+	pe := newTestPIE(cfg)
+	pe.core.SetP(0.1)
+	q := &fakeQueue{bytes: 1 << 20}
+	// With p = 0.1, the accumulator forbids a drop within the first 8
+	// packets (accu < 0.85) and forces one by packet 85 (accu ≥ 8.5).
+	gap := 0
+	maxGap, minGap := 0, 1<<30
+	for i := 0; i < 20000; i++ {
+		v := pe.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0)
+		gap++
+		if v == Drop {
+			if gap > maxGap {
+				maxGap = gap
+			}
+			if gap < minGap {
+				minGap = gap
+			}
+			gap = 0
+		}
+	}
+	if minGap < 9 {
+		t.Errorf("min inter-drop gap %d, want >= 9 (accu < 0.85 suppression)", minGap)
+	}
+	if maxGap > 86 {
+		t.Errorf("max inter-drop gap %d, want <= 86 (accu >= 8.5 forcing)", maxGap)
+	}
+}
+
+func TestPIEDerandomizationPreservesMeanRate(t *testing.T) {
+	cfg := BarePIEConfig()
+	cfg.Derandomize = true
+	pe := newTestPIE(cfg)
+	pe.core.SetP(0.05)
+	q := &fakeQueue{bytes: 1 << 20}
+	drops := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if pe.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0) == Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	// The RFC scheme is not rate-neutral in open loop: every inter-drop
+	// gap gains a suppression period of 0.85/p packets on top of the
+	// geometric wait of ~1/p, so the realized rate is ≈ p/1.85 (the
+	// closed-loop controller compensates by holding p higher). For
+	// p = 0.05 that is ≈ 0.027.
+	want := 0.05 / 1.85
+	if math.Abs(got-want) > 0.008 {
+		t.Errorf("derandomized drop rate %.4f, want ~%.4f (p/1.85)", got, want)
+	}
+}

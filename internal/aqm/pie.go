@@ -1,0 +1,266 @@
+package aqm
+
+import (
+	"math/rand"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// AutoTuneFactor returns PIE's stepped gain-scaling factor for the current
+// drop probability, per the extended lookup table in the IETF specification
+// (draft-ietf-aqm-pie-10 / RFC 8033), which Figure 5 compares against
+// √(2p). The returned value multiplies the raw PI adjustment ∆p.
+func AutoTuneFactor(dropProb float64) float64 {
+	switch {
+	case dropProb < 0.000001:
+		return 1.0 / 2048
+	case dropProb < 0.00001:
+		return 1.0 / 512
+	case dropProb < 0.0001:
+		return 1.0 / 128
+	case dropProb < 0.001:
+		return 1.0 / 32
+	case dropProb < 0.01:
+		return 1.0 / 8
+	case dropProb < 0.1:
+		return 1.0 / 2
+	default:
+		return 1
+	}
+}
+
+// PIEConfig parametrizes PIE. Every heuristic the paper enumerates in
+// Section 5 ("Fewer Heuristics") sits behind its own switch so that
+// bare-PIE is expressible as BarePIEConfig and each heuristic can be
+// ablated independently.
+type PIEConfig struct {
+	// Alpha, Beta are the base PI gains in Hz (Table 1: 2/16 and 20/16).
+	Alpha, Beta float64
+	// Target queuing delay (default 20 ms).
+	Target time.Duration
+	// Tupdate is the control interval (default 32 ms per figure captions).
+	Tupdate time.Duration
+	// Estimator selects delay measurement. Linux PIE measures departure
+	// rate; DefaultPIEConfig sets EstimateByRate.
+	Estimator DelayEstimator
+
+	// AutoTune applies the stepped gain-scaling lookup table.
+	AutoTune bool
+	// BurstAllowance enables the initial-burst exemption window.
+	BurstAllowance time.Duration // 0 disables; default 100 ms
+	// Suppress enables "no drops while p < 20% and delay < target/2".
+	Suppress bool
+	// DeltaCap enables "∆p limited to 2% when p > 10%".
+	DeltaCap bool
+	// BigDropCap enables "∆p set to 2% when queue delay > 250 ms".
+	BigDropCap bool
+	// Decay enables the 2%-per-update decay of p while the queue is idle.
+	Decay bool
+	// MinBacklog exempts tiny queues (Linux: no drops below 2 MSS bytes).
+	MinBacklog int
+
+	// ECN marks ECN-capable packets instead of dropping them, below
+	// MarkECNThreshold (Linux: 10%); above it ECN packets are dropped.
+	ECN bool
+	// MarkECNThreshold is the probability above which ECN packets are
+	// dropped anyway (default 0.1).
+	MarkECNThreshold float64
+	// ReworkedECN replaces the threshold rule with the paper's overload
+	// strategy: never drop ECN-capable packets; instead cap p at
+	// MaxProb (25%) and let tail-drop handle overload.
+	ReworkedECN bool
+	// MaxProb caps p when ReworkedECN is set (default 0.25).
+	MaxProb float64
+	// Derandomize enables RFC 8033 §5.1 drop derandomization: the
+	// probability is accumulated per packet, a drop is suppressed while
+	// the accumulator is below 0.85 and forced once it reaches 8.5,
+	// which removes both drop clustering and long drop-free gaps.
+	Derandomize bool
+	// Bytemode scales the per-packet probability by packet size relative
+	// to a full 1500 B frame (Linux PIE's optional bytemode): small
+	// packets — ACKs, VoIP — are proportionally less likely to be hit.
+	Bytemode bool
+}
+
+// DefaultPIEConfig returns the full Linux-style PIE used for the paper's
+// PIE baseline (all heuristics on, departure-rate delay estimation).
+func DefaultPIEConfig() PIEConfig {
+	return PIEConfig{
+		Alpha:            2.0 / 16,
+		Beta:             20.0 / 16,
+		Target:           20 * time.Millisecond,
+		Tupdate:          32 * time.Millisecond,
+		Estimator:        EstimateByRate,
+		AutoTune:         true,
+		BurstAllowance:   100 * time.Millisecond,
+		Suppress:         true,
+		DeltaCap:         true,
+		BigDropCap:       true,
+		Decay:            true,
+		MinBacklog:       2 * packet.FullLen,
+		MarkECNThreshold: 0.1,
+	}
+}
+
+// BarePIEConfig returns PIE with every extra heuristic disabled but the
+// auto-tune gain scaling retained — the paper's "bare-PIE", which it found
+// indistinguishable from full PIE in all experiments.
+func BarePIEConfig() PIEConfig {
+	c := DefaultPIEConfig()
+	c.BurstAllowance = 0
+	c.Suppress = false
+	c.DeltaCap = false
+	c.BigDropCap = false
+	c.Decay = false
+	c.MinBacklog = 0
+	return c
+}
+
+// PIE is the Proportional Integral controller Enhanced AQM (Pan et al.),
+// as implemented in Linux and specified by the IETF, with each heuristic
+// individually switchable.
+type PIE struct {
+	cfg      PIEConfig
+	core     PICore
+	rate     DepartRateEstimator
+	rng      *rand.Rand
+	burst    time.Duration
+	name     string
+	qdelay   time.Duration // last estimate, for Suppress and burst reset
+	accuProb float64       // RFC 8033 derandomization accumulator
+}
+
+// NewPIE builds a PIE instance.
+func NewPIE(cfg PIEConfig, rng *rand.Rand) *PIE {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2.0 / 16
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 20.0 / 16
+	}
+	if cfg.Target == 0 {
+		cfg.Target = 20 * time.Millisecond
+	}
+	if cfg.Tupdate == 0 {
+		cfg.Tupdate = 32 * time.Millisecond
+	}
+	if cfg.MarkECNThreshold == 0 {
+		cfg.MarkECNThreshold = 0.1
+	}
+	if cfg.MaxProb == 0 {
+		cfg.MaxProb = 0.25
+	}
+	pmax := 1.0
+	if cfg.ReworkedECN {
+		pmax = cfg.MaxProb
+	}
+	name := "pie"
+	if cfg.BurstAllowance == 0 && !cfg.Suppress && !cfg.DeltaCap &&
+		!cfg.BigDropCap && !cfg.Decay && cfg.MinBacklog == 0 && cfg.AutoTune {
+		name = "bare-pie"
+	}
+	return &PIE{
+		cfg:   cfg,
+		core:  PICore{Alpha: cfg.Alpha, Beta: cfg.Beta, Target: cfg.Target, PMax: pmax},
+		rng:   rng,
+		burst: cfg.BurstAllowance,
+		name:  name,
+	}
+}
+
+// Name implements AQM.
+func (pe *PIE) Name() string { return pe.name }
+
+// DropProbability implements ProbabilityReporter.
+func (pe *PIE) DropProbability() float64 { return pe.core.P() }
+
+// QDelay returns the AQM's own latest queue-delay estimate.
+func (pe *PIE) QDelay() time.Duration { return pe.qdelay }
+
+// Enqueue implements AQM: PIE's drop_early decision.
+func (pe *PIE) Enqueue(p *packet.Packet, q QueueInfo, now time.Duration) Verdict {
+	prob := pe.core.P()
+	if pe.cfg.Bytemode {
+		prob *= float64(p.WireLen) / float64(packet.FullLen)
+	}
+	if pe.burst > 0 {
+		return Accept
+	}
+	if pe.cfg.Suppress && pe.qdelay < pe.cfg.Target/2 && prob < 0.2 {
+		return Accept
+	}
+	if pe.cfg.MinBacklog > 0 && q.BacklogBytes() <= pe.cfg.MinBacklog {
+		return Accept
+	}
+	if pe.cfg.Derandomize {
+		pe.accuProb += prob
+		if pe.accuProb < 0.85 {
+			return Accept
+		}
+		if pe.accuProb >= 8.5 {
+			pe.accuProb = 0
+			return pe.signal(p)
+		}
+	}
+	if pe.rng.Float64() >= prob {
+		return Accept
+	}
+	pe.accuProb = 0
+	return pe.signal(p)
+}
+
+// signal picks mark vs drop for a packet that lost the probability draw.
+func (pe *PIE) signal(p *packet.Packet) Verdict {
+	if pe.cfg.ECN && p.ECN.ECNCapable() {
+		if pe.cfg.ReworkedECN || pe.core.P() <= pe.cfg.MarkECNThreshold {
+			return Mark
+		}
+	}
+	return Drop
+}
+
+// Dequeue implements AQM; it feeds the departure-rate estimator.
+func (pe *PIE) Dequeue(p *packet.Packet, q QueueInfo, now time.Duration) {
+	if pe.cfg.Estimator == EstimateByRate {
+		pe.rate.OnDequeue(p.WireLen, q.BacklogBytes(), now)
+	}
+}
+
+// UpdateInterval implements AQM.
+func (pe *PIE) UpdateInterval() time.Duration { return pe.cfg.Tupdate }
+
+// Update implements AQM: one control-law step with PIE's scaling and caps.
+func (pe *PIE) Update(q QueueInfo, now time.Duration) {
+	qdelay := EstimateDelay(pe.cfg.Estimator, q, &pe.rate, now)
+	prevDelay := pe.core.PrevDelay()
+	prob := pe.core.P()
+
+	delta := pe.core.Delta(qdelay)
+	if pe.cfg.AutoTune {
+		delta *= AutoTuneFactor(prob)
+	}
+	if pe.cfg.DeltaCap && prob >= 0.1 && delta > 0.02 {
+		delta = 0.02
+	}
+	if pe.cfg.BigDropCap && qdelay > 250*time.Millisecond {
+		delta = 0.02
+	}
+	prob = pe.core.Apply(delta, qdelay)
+
+	if pe.cfg.Decay && qdelay == 0 && prevDelay == 0 {
+		pe.core.SetP(prob * 0.98)
+	}
+
+	// Burst-allowance bookkeeping.
+	if pe.burst > 0 {
+		pe.burst -= pe.cfg.Tupdate
+		if pe.burst < 0 {
+			pe.burst = 0
+		}
+	} else if pe.cfg.BurstAllowance > 0 &&
+		pe.core.P() == 0 && qdelay < pe.cfg.Target/2 && prevDelay < pe.cfg.Target/2 {
+		pe.burst = pe.cfg.BurstAllowance
+	}
+	pe.qdelay = qdelay
+}

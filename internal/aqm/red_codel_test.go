@@ -1,0 +1,144 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+func TestREDBelowMinThreshAccepts(t *testing.T) {
+	r := NewRED(REDConfig{}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{bytes: 0, rate: 10e6}
+	for i := 0; i < 100; i++ {
+		if v := r.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0); v != Accept {
+			t.Fatalf("verdict %v with empty queue", v)
+		}
+	}
+	if r.DropProbability() != 0 {
+		t.Errorf("pb = %v below min thresh", r.DropProbability())
+	}
+}
+
+func TestREDDropsInRampRegion(t *testing.T) {
+	r := NewRED(REDConfig{MinThresh: 10 * packet.FullLen, MaxThresh: 30 * packet.FullLen}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{bytes: 20 * packet.FullLen, rate: 10e6}
+	drops := 0
+	for i := 0; i < 2000; i++ {
+		if r.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0) == Drop {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("no drops with avg queue mid-ramp")
+	}
+	if drops > 1000 {
+		t.Errorf("drops = %d, far above maxP region", drops)
+	}
+}
+
+func TestREDForcedDropAboveMax(t *testing.T) {
+	r := NewRED(REDConfig{MinThresh: 10 * packet.FullLen, MaxThresh: 20 * packet.FullLen}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{bytes: 400 * packet.FullLen, rate: 10e6}
+	// Let the EWMA catch up to the huge instantaneous queue.
+	for i := 0; i < 5000; i++ {
+		r.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0)
+	}
+	if v := r.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT), q, 0); v != Drop {
+		t.Errorf("verdict %v with avg far above max thresh, want drop", v)
+	}
+}
+
+func TestREDMarksECN(t *testing.T) {
+	r := NewRED(REDConfig{MinThresh: 1, MaxThresh: 2, ECN: true}, rand.New(rand.NewSource(1)))
+	q := &fakeQueue{bytes: 1000 * packet.FullLen, rate: 10e6}
+	for i := 0; i < 5000; i++ {
+		if r.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT0), q, 0) == Drop {
+			t.Fatal("RED dropped ECN-capable packet with ECN enabled")
+		}
+	}
+}
+
+func TestCoDelIdleQueuePasses(t *testing.T) {
+	c := NewCoDel(CoDelConfig{})
+	q := &fakeQueue{bytes: packet.FullLen}
+	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+	p.EnqueuedAt = 0
+	// Sojourn below target: never drop.
+	if v := c.DequeueVerdict(p, q, 2*time.Millisecond); v != Accept {
+		t.Errorf("verdict %v below target", v)
+	}
+}
+
+func TestCoDelDropsAfterPersistentDelay(t *testing.T) {
+	c := NewCoDel(CoDelConfig{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond})
+	q := &fakeQueue{bytes: 100 * packet.FullLen}
+	drops := 0
+	now := time.Duration(0)
+	for i := 0; i < 3000; i++ {
+		p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+		p.EnqueuedAt = now - 50*time.Millisecond // persistent 50 ms sojourn
+		if c.DequeueVerdict(p, q, now) == Drop {
+			drops++
+		}
+		now += time.Millisecond
+	}
+	if drops == 0 {
+		t.Fatal("CoDel never dropped under persistent standing queue")
+	}
+	// The control law accelerates: expect clearly more than one drop
+	// over 3 s of persistent excess delay.
+	if drops < 10 {
+		t.Errorf("drops = %d, want the accelerating schedule", drops)
+	}
+}
+
+func TestCoDelRecoversWhenDelayFalls(t *testing.T) {
+	c := NewCoDel(CoDelConfig{})
+	q := &fakeQueue{bytes: 100 * packet.FullLen}
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+		p.EnqueuedAt = now - 50*time.Millisecond
+		c.DequeueVerdict(p, q, now)
+		now += time.Millisecond
+	}
+	// Delay drops below target: the dropping state must end.
+	for i := 0; i < 200; i++ {
+		p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+		p.EnqueuedAt = now - time.Millisecond
+		if c.DequeueVerdict(p, q, now) == Drop {
+			t.Fatal("CoDel dropped after the queue drained")
+		}
+		now += time.Millisecond
+	}
+}
+
+func TestCoDelECNMarks(t *testing.T) {
+	c := NewCoDel(CoDelConfig{ECN: true})
+	q := &fakeQueue{bytes: 100 * packet.FullLen}
+	now := time.Duration(0)
+	marks := 0
+	for i := 0; i < 2000; i++ {
+		p := packet.NewData(1, 0, packet.MSS, packet.ECT0)
+		p.EnqueuedAt = now - 50*time.Millisecond
+		switch c.DequeueVerdict(p, q, now) {
+		case Drop:
+			t.Fatal("dropped ECN packet in ECN mode")
+		case Mark:
+			marks++
+		}
+		now += time.Millisecond
+	}
+	if marks == 0 {
+		t.Error("no marks under persistent delay")
+	}
+}
+
+func TestCoDelEnqueueAlwaysAccepts(t *testing.T) {
+	c := NewCoDel(CoDelConfig{})
+	if c.Enqueue(nil, nil, 0) != Accept {
+		t.Error("CoDel must not act at enqueue")
+	}
+}

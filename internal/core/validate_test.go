@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigValidateAcceptsZeroValue(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config (Table 1 defaults) invalid: %v", err)
+	}
+	if err := (DualConfig{}).Validate(); err != nil {
+		t.Errorf("zero dual config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative alpha", Config{Alpha: -1}, "non-negative"},
+		{"swapped gains", Config{Alpha: 3.125, Beta: 0.3125}, "swapped"},
+		{"negative target", Config{Target: -time.Second}, "target"},
+		{"negative k", Config{K: -2}, "coupling"},
+		{"probability above one", Config{MaxClassicProb: 1.5}, "[0,1]"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDualConfigValidateRejects(t *testing.T) {
+	bad := DualConfig{LThreshMin: 2 * time.Millisecond, LThreshMax: time.Millisecond}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "LThreshMin") {
+		t.Errorf("inverted ramp accepted: %v", err)
+	}
+	if err := (DualConfig{TShift: -1}).Validate(); err == nil {
+		t.Error("negative TShift accepted")
+	}
+	if err := (DualConfig{BufferPackets: -1}).Validate(); err == nil {
+		t.Error("negative buffer accepted")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Config{}.String()
+	for _, want := range []string{"alpha=0.3125", "beta=3.125", "k=2", "target=20ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pi2/internal/traffic"
+)
+
+// Options tune how the figure drivers run.
+type Options struct {
+	// Quick scales durations down (for benchmarks and CI).
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// scale shortens a duration in quick mode.
+func (o Options) scale(d time.Duration) time.Duration {
+	if o.Quick {
+		return d / 5
+	}
+	return d
+}
+
+// Fig6Result holds the Figure 6 comparison: plain PI vs PI2 queue delay
+// under the varying-intensity schedule at 100 Mb/s, 10 ms RTT.
+type Fig6Result struct {
+	PI, PI2 *Result
+	Stages  []int
+}
+
+// Fig6 runs the Figure 6 experiment: 10:30:50:30:10 Reno flows over 50 s
+// stages, link 100 Mb/s, RTT 10 ms, α_PI = 0.125, β_PI = 1.25,
+// α_PI2 = 0.3125, β_PI2 = 3.125, T = 32 ms, target 20 ms.
+func Fig6(o Options) *Fig6Result {
+	stageLen := o.scale(50 * time.Second)
+	counts := []int{10, 30, 50, 30, 10}
+	base := Scenario{
+		Seed:        o.seed(),
+		LinkRateBps: 100e6,
+		Staged: &StagedSpec{
+			CC:       "reno",
+			RTT:      10 * time.Millisecond,
+			Counts:   counts,
+			StageLen: stageLen,
+		},
+		Duration: time.Duration(len(counts)) * stageLen,
+		WarmUp:   stageLen / 2,
+	}
+	target := 20 * time.Millisecond
+
+	pi := base
+	pi.NewAQM = PIFactory(target)
+	pi2 := base
+	pi2.NewAQM = PI2Factory(target)
+	return &Fig6Result{PI: Run(pi), PI2: Run(pi2), Stages: counts}
+}
+
+// Print writes the queue-delay time series side by side, as in the figure.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 6: queue delay under varying traffic intensity (100 Mb/s, RTT 10 ms)")
+	fmt.Fprintln(w, "# flows 10:30:50:30:10; 'pi' = fixed-gain linear PI, 'pi2' = squared output")
+	fmt.Fprintln(w, "time_s\tpi_qdelay_ms\tpi2_qdelay_ms")
+	printSeriesPair(w, r.PI, r.PI2)
+	fmt.Fprintf(w, "# summary: pi max=%.1f ms mean=%.1f ms | pi2 max=%.1f ms mean=%.1f ms\n",
+		r.PI.DelaySeries.Max()*1e3, r.PI.Sojourn.Mean()*1e3,
+		r.PI2.DelaySeries.Max()*1e3, r.PI2.Sojourn.Mean()*1e3)
+}
+
+// Fig11Result holds the three traffic-load comparisons of Figure 11.
+type Fig11Result struct {
+	// Loads are "5 TCP", "50 TCP", "5 TCP + 2 UDP"; each maps variant
+	// ("pie"/"pi2") to its run.
+	Loads []string
+	Runs  map[string]map[string]*Result // load → variant → result
+}
+
+// Fig11 runs Figure 11: queuing latency and total throughput for
+// a) 5 TCP, b) 50 TCP, c) 5 TCP + 2×6 Mb/s UDP; link 10 Mb/s, RTT 100 ms.
+func Fig11(o Options) *Fig11Result {
+	dur := o.scale(100 * time.Second)
+	warm := dur / 4
+	target := 20 * time.Millisecond
+	mkBase := func(tcpFlows int, udp bool) Scenario {
+		sc := Scenario{
+			Seed:        o.seed(),
+			LinkRateBps: 10e6,
+			Bulk: []traffic.BulkFlowSpec{
+				{CC: "reno", Count: tcpFlows, RTT: 100 * time.Millisecond},
+			},
+			Duration: dur,
+			WarmUp:   warm,
+		}
+		if udp {
+			sc.UDP = []traffic.UDPSpec{
+				{RateBps: 6e6}, {RateBps: 6e6},
+			}
+		}
+		return sc
+	}
+	res := &Fig11Result{
+		Loads: []string{"5 TCP", "50 TCP", "5 TCP + 2 UDP"},
+		Runs:  make(map[string]map[string]*Result),
+	}
+	cases := []struct {
+		load string
+		sc   Scenario
+	}{
+		{"5 TCP", mkBase(5, false)},
+		{"50 TCP", mkBase(50, false)},
+		{"5 TCP + 2 UDP", mkBase(5, true)},
+	}
+	for _, c := range cases {
+		res.Runs[c.load] = make(map[string]*Result)
+		pie := c.sc
+		pie.NewAQM = PIEFactory(target)
+		res.Runs[c.load]["pie"] = Run(pie)
+		pi2 := c.sc
+		pi2.NewAQM = PI2Factory(target)
+		res.Runs[c.load]["pi2"] = Run(pi2)
+	}
+	return res
+}
+
+// Print writes per-load delay/throughput series and summaries.
+func (r *Fig11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 11: queuing latency and throughput under various traffic loads")
+	fmt.Fprintln(w, "# link 10 Mb/s, RTT 100 ms, target 20 ms")
+	for _, load := range r.Loads {
+		pie, pi2 := r.Runs[load]["pie"], r.Runs[load]["pi2"]
+		fmt.Fprintf(w, "\n## load: %s\n", load)
+		fmt.Fprintln(w, "time_s\tpie_qdelay_ms\tpi2_qdelay_ms\tpie_thru_mbps\tpi2_thru_mbps")
+		n := min(pie.DelaySeries.Len(), pi2.DelaySeries.Len())
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\t%.3f\t%.3f\n",
+				pie.DelaySeries.Times[i].Seconds(),
+				pie.DelaySeries.Values[i]*1e3, pi2.DelaySeries.Values[i]*1e3,
+				pie.GoodputSeries.Values[i]/1e6, pi2.GoodputSeries.Values[i]/1e6)
+		}
+		fmt.Fprintf(w, "# %s: pie meanQ=%.1fms p99Q=%.1fms util=%.3f | pi2 meanQ=%.1fms p99Q=%.1fms util=%.3f\n",
+			load,
+			pie.Sojourn.Mean()*1e3, pie.Sojourn.Percentile(99)*1e3, pie.Utilization,
+			pi2.Sojourn.Mean()*1e3, pi2.Sojourn.Percentile(99)*1e3, pi2.Utilization)
+	}
+}
+
+// Fig12Result holds the varying-link-capacity comparison.
+type Fig12Result struct {
+	PIE, PI2 *Result
+	// PeakPIEms / PeakPI2ms are the peak 100 ms-sampled queue delays just
+	// after the capacity drop (the paper reports 510 ms vs 250 ms).
+	PeakPIEms, PeakPI2ms float64
+}
+
+// Fig12 runs Figure 12: link capacity 100:20:100 Mb/s over 50 s stages,
+// 20 Reno flows, RTT 100 ms. The capacity drop at 50 s forces the queue to
+// spike; PI2's higher gain drains it faster with less oscillation.
+func Fig12(o Options) *Fig12Result {
+	stage := o.scale(50 * time.Second)
+	target := 20 * time.Millisecond
+	base := Scenario{
+		Seed:        o.seed(),
+		LinkRateBps: 100e6,
+		Bulk: []traffic.BulkFlowSpec{
+			{CC: "reno", Count: 20, RTT: 100 * time.Millisecond},
+		},
+		RateChanges: []RateChange{
+			{At: stage, RateBps: 20e6},
+			{At: 2 * stage, RateBps: 100e6},
+		},
+		Duration: 3 * stage,
+		WarmUp:   stage / 2,
+	}
+	pie := base
+	pie.NewAQM = PIEFactory(target)
+	pi2 := base
+	pi2.NewAQM = PI2Factory(target)
+	r := &Fig12Result{PIE: Run(pie), PI2: Run(pi2)}
+	// Peak in the window following the capacity drop.
+	r.PeakPIEms = peakBetween(r.PIE, stage, stage+stage/2) * 1e3
+	r.PeakPI2ms = peakBetween(r.PI2, stage, stage+stage/2) * 1e3
+	return r
+}
+
+func peakBetween(res *Result, from, to time.Duration) float64 {
+	peak := 0.0
+	for i, v := range res.DelayFine.Values {
+		t := res.DelayFine.Times[i]
+		if t >= from && t <= to && v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Print writes the delay series and the post-drop peaks.
+func (r *Fig12Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 12: queue delay under varying link capacity (100:20:100 Mb/s)")
+	fmt.Fprintln(w, "time_s\tpie_qdelay_ms\tpi2_qdelay_ms")
+	printSeriesPair(w, r.PIE, r.PI2)
+	fmt.Fprintf(w, "# peak qdelay after capacity drop (100 ms sampling): pie=%.0f ms pi2=%.0f ms (paper: 510 vs 250)\n",
+		r.PeakPIEms, r.PeakPI2ms)
+}
+
+// Fig13Result holds the low-rate varying-intensity comparison.
+type Fig13Result struct {
+	PIE, PI2 *Result
+}
+
+// Fig13 runs Figure 13: the 10:30:50:30:10 staged schedule at 10 Mb/s,
+// RTT 100 ms, comparing PIE and PI2.
+func Fig13(o Options) *Fig13Result {
+	stageLen := o.scale(50 * time.Second)
+	counts := []int{10, 30, 50, 30, 10}
+	target := 20 * time.Millisecond
+	base := Scenario{
+		Seed:        o.seed(),
+		LinkRateBps: 10e6,
+		Staged: &StagedSpec{
+			CC:       "reno",
+			RTT:      100 * time.Millisecond,
+			Counts:   counts,
+			StageLen: stageLen,
+		},
+		Duration: time.Duration(len(counts)) * stageLen,
+		WarmUp:   stageLen / 2,
+	}
+	pie := base
+	pie.NewAQM = PIEFactory(target)
+	pi2 := base
+	pi2.NewAQM = PI2Factory(target)
+	return &Fig13Result{PIE: Run(pie), PI2: Run(pi2)}
+}
+
+// Print writes the queue-delay series.
+func (r *Fig13Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 13: queue delay under varying traffic intensity (10 Mb/s, RTT 100 ms)")
+	fmt.Fprintln(w, "time_s\tpie_qdelay_ms\tpi2_qdelay_ms")
+	printSeriesPair(w, r.PIE, r.PI2)
+	fmt.Fprintf(w, "# summary: pie max=%.1f ms | pi2 max=%.1f ms\n",
+		r.PIE.DelaySeries.Max()*1e3, r.PI2.DelaySeries.Max()*1e3)
+}
+
+// Fig14Case is one (target, load) cell of Figure 14.
+type Fig14Case struct {
+	Target time.Duration
+	Load   string
+	PIE    *Result
+	PI2    *Result
+}
+
+// Fig14Result holds the queuing-delay CDF comparison.
+type Fig14Result struct {
+	Cases []Fig14Case
+}
+
+// Fig14 runs Figure 14: per-packet queuing-delay CDFs for target delays of
+// 5 ms and 20 ms under a) 20 TCP flows and b) 5 TCP + 2 UDP flows
+// (10 Mb/s, RTT 100 ms).
+func Fig14(o Options) *Fig14Result {
+	dur := o.scale(100 * time.Second)
+	warm := dur / 4
+	res := &Fig14Result{}
+	for _, target := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond} {
+		for _, load := range []string{"20 TCP", "5 TCP + 2 UDP"} {
+			sc := Scenario{
+				Seed:        o.seed(),
+				LinkRateBps: 10e6,
+				Duration:    dur,
+				WarmUp:      warm,
+			}
+			if load == "20 TCP" {
+				sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 20, RTT: 100 * time.Millisecond}}
+			} else {
+				sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 5, RTT: 100 * time.Millisecond}}
+				sc.UDP = []traffic.UDPSpec{{RateBps: 6e6}, {RateBps: 6e6}}
+			}
+			pie := sc
+			pie.NewAQM = PIEFactory(target)
+			pi2 := sc
+			pi2.NewAQM = PI2Factory(target)
+			res.Cases = append(res.Cases, Fig14Case{
+				Target: target, Load: load, PIE: Run(pie), PI2: Run(pi2),
+			})
+		}
+	}
+	return res
+}
+
+// Print writes each case's CDF as paired columns.
+func (r *Fig14Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 14: queuing-delay CDFs (10 Mb/s, RTT 100 ms)")
+	for _, c := range r.Cases {
+		fmt.Fprintf(w, "\n## target %v, load %s\n", c.Target, c.Load)
+		fmt.Fprintln(w, "percentile\tpie_qdelay_ms\tpi2_qdelay_ms")
+		for _, q := range []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\n", q,
+				c.PIE.Sojourn.Percentile(q)*1e3, c.PI2.Sojourn.Percentile(q)*1e3)
+		}
+	}
+}
+
+// printSeriesPair prints two delay series with a shared time column.
+func printSeriesPair(w io.Writer, a, b *Result) {
+	n := min(a.DelaySeries.Len(), b.DelaySeries.Len())
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\n",
+			a.DelaySeries.Times[i].Seconds(),
+			a.DelaySeries.Values[i]*1e3, b.DelaySeries.Values[i]*1e3)
+	}
+}

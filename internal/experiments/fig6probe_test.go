@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"pi2/internal/traffic"
+)
+
+// TestFig6SuppressionSignature checks the reproducible core of the paper's
+// Figure 6 observation. On the Linux testbed, non-auto-tuned linear PI
+// "immediately suppressed any onset of congestion very aggressively
+// (p becomes too high, because β is too high)" at low load, oscillating the
+// queue. In this per-segment simulator flow desynchronization damps the
+// full limit cycle (no TSO bursts or ACK compression — see EXPERIMENTS.md),
+// but the over-suppression signature survives: linear PI holds the queue
+// measurably below target, while PI2 — with 2.5× higher gains — pins it at
+// the target.
+func TestFig6SuppressionSignature(t *testing.T) {
+	run := func(f AQMFactory) *Result {
+		return Run(Scenario{
+			Seed:        1,
+			LinkRateBps: 100e6,
+			NewAQM:      f,
+			Bulk: []traffic.BulkFlowSpec{
+				{CC: "reno", Count: 10, RTT: 10 * time.Millisecond},
+			},
+			Duration: 50 * time.Second,
+			WarmUp:   10 * time.Second,
+		})
+	}
+	pi := run(PIFactory(20 * time.Millisecond))
+	pi2 := run(PI2Factory(20 * time.Millisecond))
+	t.Logf("pi meanQ=%.1fms pi2 meanQ=%.1fms", pi.Sojourn.Mean()*1e3, pi2.Sojourn.Mean()*1e3)
+	if pi.Sojourn.Mean() >= pi2.Sojourn.Mean() {
+		t.Errorf("linear PI (%.1f ms) should over-suppress below PI2 (%.1f ms)",
+			pi.Sojourn.Mean()*1e3, pi2.Sojourn.Mean()*1e3)
+	}
+	// PI2 holds the target despite 2.5x the gain.
+	if m := pi2.Sojourn.Mean(); m < 0.014 || m > 0.03 {
+		t.Errorf("pi2 mean %.1f ms, want pinned near the 20 ms target", m*1e3)
+	}
+	// Both keep the link busy at this load either way.
+	if pi.Utilization < 0.95 || pi2.Utilization < 0.95 {
+		t.Errorf("utilization pi=%.3f pi2=%.3f", pi.Utilization, pi2.Utilization)
+	}
+}

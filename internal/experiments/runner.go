@@ -1,0 +1,274 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (Section 6), plus the generic scenario runner they share.
+// Each driver builds the paper's topology, runs it on the discrete-event
+// simulator and emits the same rows/series the paper reports.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/sim"
+	"pi2/internal/stats"
+	"pi2/internal/tcp"
+	"pi2/internal/traffic"
+)
+
+// AQMFactory builds a fresh AQM instance for one run.
+type AQMFactory func(rng *rand.Rand) aqm.AQM
+
+// StagedSpec describes the varying-intensity flow schedule (Figures 6, 13).
+type StagedSpec struct {
+	// CC is the congestion control for every staged flow.
+	CC string
+	// RTT is the base round-trip time.
+	RTT time.Duration
+	// Counts is the number of active flows per stage.
+	Counts []int
+	// StageLen is each stage's duration.
+	StageLen time.Duration
+}
+
+// RateChange switches the link capacity at a point in time (Figure 12).
+type RateChange struct {
+	At      time.Duration
+	RateBps float64
+}
+
+// Scenario is a complete single-bottleneck experiment description.
+type Scenario struct {
+	// Seed drives all randomness; runs are reproducible bit-for-bit.
+	Seed int64
+	// LinkRateBps is the initial bottleneck capacity.
+	LinkRateBps float64
+	// BufferPackets bounds the queue (default 40000, Table 1).
+	BufferPackets int
+	// NewAQM builds the queue manager.
+	NewAQM AQMFactory
+	// Bulk, Staged, UDP and Web describe the offered load.
+	Bulk   []traffic.BulkFlowSpec
+	Staged *StagedSpec
+	UDP    []traffic.UDPSpec
+	Web    []traffic.WebSpec
+	// RateChanges vary the capacity during the run.
+	RateChanges []RateChange
+	// Duration is the simulated run length.
+	Duration time.Duration
+	// WarmUp excludes start-up transients from steady-state statistics
+	// (time series still cover the whole run).
+	WarmUp time.Duration
+	// SampleEvery sets the coarse time-series interval (default 1 s,
+	// matching the paper's plots).
+	SampleEvery time.Duration
+	// SACK enables selective acknowledgments on every bulk flow.
+	SACK bool
+	// AckEvery sets the delayed/stretch-ACK factor on every bulk flow
+	// (0/1 = acknowledge each segment).
+	AckEvery int
+}
+
+// GroupResult summarizes one bulk-flow group after the run.
+type GroupResult struct {
+	// Label is the group's tag (defaults to the CC name).
+	Label string
+	// CC is the congestion-control name.
+	CC string
+	// FlowRates holds each flow's goodput in bits/s over the
+	// measurement window (after WarmUp).
+	FlowRates []float64
+	// Marks is the total CE marks seen by the group's receivers.
+	Marks int
+	// CongestionEvents is the total multiplicative decreases.
+	CongestionEvents int
+	// Retransmissions is the total retransmitted segments.
+	Retransmissions int
+}
+
+// Total returns the group's aggregate goodput in bits/s.
+func (g GroupResult) Total() float64 {
+	var sum float64
+	for _, r := range g.FlowRates {
+		sum += r
+	}
+	return sum
+}
+
+// MeanPerFlow returns the mean per-flow goodput in bits/s.
+func (g GroupResult) MeanPerFlow() float64 {
+	if len(g.FlowRates) == 0 {
+		return 0
+	}
+	return g.Total() / float64(len(g.FlowRates))
+}
+
+// Result is everything an experiment driver needs to print its figure.
+type Result struct {
+	// DelaySeries is the queue delay (seconds) sampled at SampleEvery.
+	DelaySeries stats.TimeSeries
+	// DelayFine is the queue delay sampled every 100 ms (Figure 12 peaks).
+	DelayFine stats.TimeSeries
+	// GoodputSeries is total TCP goodput (bits/s) at SampleEvery.
+	GoodputSeries stats.TimeSeries
+	// Sojourn is the per-packet queuing delay (seconds) over the
+	// measurement window — the paper's Figure 14/16 metric.
+	Sojourn stats.Sample
+	// ClassicProb and ScalableProb sample the AQM's probabilities every
+	// 100 ms over the measurement window (Figure 17).
+	ClassicProb, ScalableProb stats.Sample
+	// UtilSeries samples link utilization per SampleEvery interval over
+	// the measurement window (Figure 18's P1/mean/P99).
+	UtilSeries stats.Sample
+	// Utilization is the mean over the measurement window.
+	Utilization float64
+	// Groups reports per-group flow rates in Scenario order (staged and
+	// web groups excluded).
+	Groups []GroupResult
+	// DropsAQM, DropsOverflow, Marks count the whole-run totals.
+	DropsAQM, DropsOverflow, Marks int
+	// WebFCT aggregates web-workload flow completion times (seconds).
+	WebFCT stats.Sample
+	// Events is the number of simulator events processed (bench metric).
+	Events uint64
+}
+
+// Run executes a scenario to completion.
+func Run(sc Scenario) *Result {
+	if sc.SampleEvery == 0 {
+		sc.SampleEvery = time.Second
+	}
+	s := sim.New(sc.Seed)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps:       sc.LinkRateBps,
+		BufferPackets: sc.BufferPackets,
+		AQM:           sc.NewAQM(s.RNG()),
+	}, d.Deliver)
+
+	res := &Result{
+		DelaySeries:   stats.TimeSeries{Interval: sc.SampleEvery},
+		DelayFine:     stats.TimeSeries{Interval: 100 * time.Millisecond},
+		GoodputSeries: stats.TimeSeries{Interval: sc.SampleEvery},
+	}
+
+	nextID := 1
+	var groups []*traffic.BulkGroup
+	for _, spec := range sc.Bulk {
+		if sc.SACK {
+			spec.SACK = true
+		}
+		if spec.AckEvery == 0 {
+			spec.AckEvery = sc.AckEvery
+		}
+		g, id := traffic.StartBulk(s, l, d, nextID, spec)
+		groups = append(groups, g)
+		nextID = id
+	}
+	var staged []*tcp.Endpoint
+	if sc.Staged != nil {
+		staged, nextID = traffic.StagedCounts(s, l, d, nextID,
+			sc.Staged.CC, sc.Staged.RTT, sc.Staged.Counts, sc.Staged.StageLen)
+	}
+	var udps []*traffic.UDPSource
+	for _, spec := range sc.UDP {
+		udps = append(udps, traffic.StartUDP(s, l, d, nextID, spec))
+		nextID++
+	}
+	var webs []*traffic.WebWorkload
+	for _, spec := range sc.Web {
+		webs = append(webs, traffic.StartWeb(s, l, d, &nextID, spec))
+	}
+	for _, rc := range sc.RateChanges {
+		rate := rc.RateBps
+		s.At(rc.At, func() { l.SetRateBps(rate) })
+	}
+
+	allFlows := func() []*tcp.Endpoint {
+		var eps []*tcp.Endpoint
+		for _, g := range groups {
+			eps = append(eps, g.Flows...)
+		}
+		return append(eps, staged...)
+	}
+
+	// Warm-up boundary: restart every steady-state statistic.
+	s.At(sc.WarmUp, func() {
+		l.ResetStats()
+		now := s.Now()
+		for _, f := range allFlows() {
+			f.Goodput.Reset(now)
+		}
+	})
+
+	// Coarse sampler: queue delay, total goodput, per-interval utilization.
+	var lastGoodput, lastDelivered int64
+	s.Every(sc.SampleEvery, func() {
+		now := s.Now()
+		res.DelaySeries.Record(now, l.QueueDelayNow().Seconds())
+		var total int64
+		for _, f := range allFlows() {
+			total += f.Goodput.Bytes()
+		}
+		rate := float64(total-lastGoodput) * 8 / sc.SampleEvery.Seconds()
+		lastGoodput = total
+		res.GoodputSeries.Record(now, rate)
+		delivered := l.Delivered.Bytes()
+		// The meter is reset at the warm-up boundary; skip the sample
+		// whose interval straddles the reset.
+		if now > sc.WarmUp && delivered >= lastDelivered {
+			util := float64(delivered-lastDelivered) * 8 /
+				(sc.SampleEvery.Seconds() * l.RateBps())
+			if util > 1 {
+				util = 1
+			}
+			res.UtilSeries.Add(util)
+		}
+		lastDelivered = delivered
+	})
+
+	// Fine sampler: 100 ms queue delay + probability samples.
+	s.Every(100*time.Millisecond, func() {
+		now := s.Now()
+		res.DelayFine.Record(now, l.QueueDelayNow().Seconds())
+		if now <= sc.WarmUp {
+			return
+		}
+		if pr, ok := l.AQM().(aqm.ProbabilityReporter); ok {
+			res.ClassicProb.Add(pr.DropProbability())
+		}
+		if sr, ok := l.AQM().(aqm.ScalableReporter); ok {
+			res.ScalableProb.Add(sr.ScalableProbability())
+		}
+	})
+
+	s.RunUntil(sc.Duration)
+
+	// Collect.
+	now := s.Now()
+	res.Sojourn = l.Sojourn
+	res.Utilization = l.Utilization()
+	res.DropsAQM = l.Drops(link.DropAQM)
+	res.DropsOverflow = l.Drops(link.DropOverflow)
+	res.Marks = l.Marks()
+	res.Events = s.Processed()
+	for _, g := range groups {
+		label := g.Spec.Label
+		if label == "" {
+			label = g.Spec.CC
+		}
+		gr := GroupResult{Label: label, CC: g.Spec.CC}
+		for _, f := range g.Flows {
+			gr.FlowRates = append(gr.FlowRates, f.Goodput.RateBps(now))
+			gr.Marks += f.MarksSeen()
+			gr.CongestionEvents += f.CongestionEvents()
+			gr.Retransmissions += f.Retransmissions()
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	for _, w := range webs {
+		res.WebFCT.Merge(&w.FCT)
+	}
+	_ = udps
+	return res
+}

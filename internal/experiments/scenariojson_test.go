@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleJSON = `{
+  "seed": 7,
+  "link_mbps": 10,
+  "aqm": "pi2",
+  "duration": "20s",
+  "warmup": "5s",
+  "sack": true,
+  "flows": [
+    {"cc": "reno", "count": 3, "rtt": "100ms", "label": "bulk"}
+  ],
+  "udp": [{"rate_mbps": 2, "start": "5s", "stop": "15s"}],
+  "rate_changes": [{"at": "10s", "rate_mbps": 5}]
+}`
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	sc, err := LoadScenario(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || sc.LinkRateBps != 10e6 || sc.Duration != 20*time.Second {
+		t.Errorf("basics wrong: %+v", sc)
+	}
+	if !sc.SACK || len(sc.Bulk) != 1 || sc.Bulk[0].Count != 3 || sc.Bulk[0].RTT != 100*time.Millisecond {
+		t.Errorf("flows wrong: %+v", sc.Bulk)
+	}
+	if len(sc.UDP) != 1 || sc.UDP[0].RateBps != 2e6 || sc.UDP[0].StopAt != 15*time.Second {
+		t.Errorf("udp wrong: %+v", sc.UDP)
+	}
+	if len(sc.RateChanges) != 1 || sc.RateChanges[0].RateBps != 5e6 {
+		t.Errorf("rate changes wrong: %+v", sc.RateChanges)
+	}
+	// And it actually runs.
+	res := Run(sc)
+	if res.Utilization <= 0 {
+		t.Error("loaded scenario produced nothing")
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name, js, want string
+	}{
+		{"bad json", `{`, "scenario"},
+		{"unknown field", `{"link_mbps":10,"duration":"1s","nope":1,"flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`, "nope"},
+		{"no link", `{"duration":"1s","flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`, "link_mbps"},
+		{"no traffic", `{"link_mbps":10,"duration":"1s"}`, "no traffic"},
+		{"bad aqm", `{"link_mbps":10,"aqm":"fifo2","duration":"1s","flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`, "unknown aqm"},
+		{"no duration", `{"link_mbps":10,"flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`, "duration is required"},
+		{"bad rtt", `{"link_mbps":10,"duration":"1s","flows":[{"cc":"reno","count":1,"rtt":"fast"}]}`, "rtt"},
+		{"zero count", `{"link_mbps":10,"duration":"1s","flows":[{"cc":"reno","count":0,"rtt":"1ms"}]}`, "count"},
+		{"negative time", `{"link_mbps":10,"duration":"-1s","flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`, "non-negative"},
+	}
+	for _, c := range cases {
+		_, err := LoadScenario(strings.NewReader(c.js))
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadScenarioDefaults(t *testing.T) {
+	sc, err := LoadScenario(strings.NewReader(
+		`{"link_mbps":10,"duration":"1s","flows":[{"cc":"reno","count":1,"rtt":"1ms"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 1 {
+		t.Errorf("default seed = %d", sc.Seed)
+	}
+	if sc.NewAQM == nil {
+		t.Error("default AQM not set")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pi2/internal/traffic"
+)
+
+// SweepLinksMbps and SweepRTTs are the paper's coexistence grid
+// (Figures 15–18): every combination of link rate and base RTT.
+var (
+	SweepLinksMbps = []float64{4, 12, 40, 120, 200}
+	SweepRTTs      = []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		50 * time.Millisecond, 100 * time.Millisecond,
+	}
+)
+
+// SweepPoint is one cell of the coexistence sweep: one Cubic flow (A,
+// non-ECN) against one ECN-capable flow (B: DCTCP or ECN-Cubic), through
+// one AQM.
+type SweepPoint struct {
+	LinkMbps float64
+	RTT      time.Duration
+	AQM      string // "pie" or "pi2"
+	Pair     string // "dctcp" or "ecn-cubic"
+
+	// RateA and RateB are the two flows' goodputs in bits/s; Ratio is
+	// A/B (non-ECN over ECN-capable), the paper's rate-balance metric.
+	RateA, RateB float64
+	Ratio        float64
+
+	// Queue delay per packet over the measurement window (seconds).
+	QMean, QP99 float64
+	// Probability samples: Classic drop/mark prob for A, Scalable mark
+	// prob for B (B falls back to the classic probability under PIE,
+	// which applies one probability to everything).
+	ProbA, ProbB Quantiles
+	// Link utilization per sampling interval.
+	Util Quantiles
+}
+
+// Quantiles summarizes a sample with the percentiles the figures plot.
+type Quantiles struct {
+	P1, P25, Mean, P99 float64
+}
+
+// CoexistenceSweep runs the full Figures 15–18 grid: for each link × RTT,
+// each pair (Cubic vs DCTCP, Cubic vs ECN-Cubic) and each AQM (PIE, PI2).
+// One call produces the data for all four figures.
+func CoexistenceSweep(o Options) []SweepPoint {
+	links := SweepLinksMbps
+	rtts := SweepRTTs
+	if o.Quick {
+		links = []float64{4, 40, 200}
+		rtts = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
+	}
+	var out []SweepPoint
+	for _, pair := range []string{"dctcp", "ecn-cubic"} {
+		for _, aqmName := range []string{"pie", "pi2"} {
+			for _, linkMbps := range links {
+				for _, rtt := range rtts {
+					out = append(out, runSweepPoint(o, linkMbps, rtt, aqmName, pair))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runSweepPoint(o Options, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
+	target := 20 * time.Millisecond
+	factory, ok := FactoryByName(aqmName, target)
+	if !ok {
+		panic("unknown AQM " + aqmName)
+	}
+	// Converge for longer on big-BDP cells; measure over the second part.
+	dur := o.scale(100 * time.Second)
+	sc := Scenario{
+		Seed:        o.seed(),
+		LinkRateBps: linkMbps * 1e6,
+		NewAQM:      factory,
+		Bulk: []traffic.BulkFlowSpec{
+			{CC: "cubic", Count: 1, RTT: rtt, Label: "A"},
+			{CC: pair, Count: 1, RTT: rtt, Label: "B"},
+		},
+		Duration: dur,
+		WarmUp:   dur * 2 / 5,
+	}
+	res := Run(sc)
+	pt := SweepPoint{
+		LinkMbps: linkMbps, RTT: rtt, AQM: aqmName, Pair: pair,
+		RateA: res.Groups[0].MeanPerFlow(),
+		RateB: res.Groups[1].MeanPerFlow(),
+		QMean: res.Sojourn.Mean(),
+		QP99:  res.Sojourn.Percentile(99),
+	}
+	if pt.RateB > 0 {
+		pt.Ratio = pt.RateA / pt.RateB
+	}
+	pt.ProbA = quantiles(&res.ClassicProb)
+	if res.ScalableProb.N() > 0 {
+		pt.ProbB = quantiles(&res.ScalableProb)
+	} else {
+		pt.ProbB = pt.ProbA
+	}
+	pt.Util = quantiles(&res.UtilSeries)
+	return pt
+}
+
+func quantiles(s interface {
+	Percentile(float64) float64
+	Mean() float64
+}) Quantiles {
+	return Quantiles{
+		P1:   s.Percentile(1),
+		P25:  s.Percentile(25),
+		Mean: s.Mean(),
+		P99:  s.Percentile(99),
+	}
+}
+
+// PrintFig15 writes the rate-balance table (Figure 15).
+func PrintFig15(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "# Figure 15: throughput balance, one flow per congestion control")
+	fmt.Fprintln(w, "# ratio = Cubic / {DCTCP|ECN-Cubic}; 1.0 = perfect coexistence")
+	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\trate_cubic_mbps\trate_other_mbps\tratio")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.3f\t%.3f\t%.3f\n",
+			p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+			p.RateA/1e6, p.RateB/1e6, p.Ratio)
+	}
+}
+
+// PrintFig16 writes the queue-delay table (Figure 16).
+func PrintFig16(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "# Figure 16: queuing delay (mean, P99) per packet")
+	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\tqdelay_mean_ms\tqdelay_p99_ms")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.2f\t%.2f\n",
+			p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+			p.QMean*1e3, p.QP99*1e3)
+	}
+}
+
+// PrintFig17 writes the mark/drop-probability table (Figure 17).
+func PrintFig17(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "# Figure 17: marking/dropping probability (%), P25/mean/P99")
+	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\tclassic_p25\tclassic_mean\tclassic_p99\tscal_p25\tscal_mean\tscal_p99")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+			p.ProbA.P25*100, p.ProbA.Mean*100, p.ProbA.P99*100,
+			p.ProbB.P25*100, p.ProbB.Mean*100, p.ProbB.P99*100)
+	}
+}
+
+// PrintFig18 writes the utilization table (Figure 18).
+func PrintFig18(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "# Figure 18: link utilisation (%), P1/mean/P99 per 1 s interval")
+	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\tutil_p1\tutil_mean\tutil_p99")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+			p.Util.P1*100, p.Util.Mean*100, p.Util.P99*100)
+	}
+}

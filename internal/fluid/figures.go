@@ -1,0 +1,113 @@
+package fluid
+
+import (
+	"math"
+	"time"
+
+	"pi2/internal/aqm"
+)
+
+// MarginPoint is one x-position of a Bode-margin figure.
+type MarginPoint struct {
+	// P is the operating-point probability on the x axis (the Classic
+	// drop probability p for Figure 4; the pseudo-probability p′ for
+	// Figure 7).
+	P float64
+	// ByLine maps each figure line label to its margins at P.
+	ByLine map[string]Margins
+}
+
+// Figure4 computes the Bode gain and phase margins of TCP Reno under a PI
+// law on p, for PIE's auto-tuned gains and three fixed tune factors —
+// reproducing Figure 4 (R0 = 100 ms, α = 0.125·tune, β = 1.25·tune,
+// T = 32 ms, p swept over [1e-6, 1]).
+func Figure4(points int) []MarginPoint {
+	lines := map[string]func(p float64) float64{
+		"tune=auto": aqm.AutoTuneFactor,
+		"tune=1":    func(float64) float64 { return 1 },
+		"tune=1/2":  func(float64) float64 { return 0.5 },
+		"tune=1/8":  func(float64) float64 { return 0.125 },
+	}
+	out := make([]MarginPoint, 0, points)
+	for _, p := range logspace(1e-6, 1, points) {
+		mp := MarginPoint{P: p, ByLine: make(map[string]Margins)}
+		for name, tune := range lines {
+			lp := LoopParams{
+				AlphaHz: 0.125 * tune(p),
+				BetaHz:  1.25 * tune(p),
+				T:       32 * time.Millisecond,
+				R0:      100 * time.Millisecond,
+			}
+			mp.ByLine[name] = ComputeMargins(RenoPIE(lp, p))
+		}
+		out = append(out, mp)
+	}
+	return out
+}
+
+// TunePoint is one x-position of Figure 5.
+type TunePoint struct {
+	// P is the drop probability.
+	P float64
+	// Tune is PIE's stepped scaling factor at P.
+	Tune float64
+	// SqrtTwoP is √(2·P), the law the steps track.
+	SqrtTwoP float64
+}
+
+// Figure5 tabulates PIE's stepped 'tune' factor against √(2p), reproducing
+// Figure 5 (both on log scales in the paper).
+func Figure5(points int) []TunePoint {
+	out := make([]TunePoint, 0, points)
+	for _, p := range logspace(1e-7, 1, points) {
+		out = append(out, TunePoint{
+			P:        p,
+			Tune:     aqm.AutoTuneFactor(p),
+			SqrtTwoP: math.Sqrt(2 * p),
+		})
+	}
+	return out
+}
+
+// Figure7 computes the margins of the three loops the paper compares:
+// 'reno pie' (auto-tuned PIE on p = p′²), 'reno pi2' (Reno through the
+// squared output, α = 0.3125, β = 3.125) and 'scal pi' (Scalable under
+// plain PI, α = 0.625, β = 6.25), over p′ in [1e-3, 1] at R0 = 100 ms,
+// T = 32 ms.
+func Figure7(points int) []MarginPoint {
+	const (
+		t  = 32 * time.Millisecond
+		r0 = 100 * time.Millisecond
+	)
+	out := make([]MarginPoint, 0, points)
+	for _, pp := range logspace(1e-3, 1, points) {
+		p := pp * pp // Classic probability at this operating point
+		mp := MarginPoint{P: pp, ByLine: make(map[string]Margins)}
+
+		tune := aqm.AutoTuneFactor(p)
+		mp.ByLine["reno pie"] = ComputeMargins(RenoPIE(LoopParams{
+			AlphaHz: 0.125 * tune, BetaHz: 1.25 * tune, T: t, R0: r0,
+		}, p))
+		mp.ByLine["reno pi2"] = ComputeMargins(RenoPI2(LoopParams{
+			AlphaHz: 0.3125, BetaHz: 3.125, T: t, R0: r0,
+		}, pp))
+		mp.ByLine["scal pi"] = ComputeMargins(ScalPI(LoopParams{
+			AlphaHz: 0.625, BetaHz: 6.25, T: t, R0: r0,
+		}, pp))
+		out = append(out, mp)
+	}
+	return out
+}
+
+// logspace returns n log-spaced values over [lo, hi] inclusive.
+func logspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	la, lb := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, la+(lb-la)*float64(i)/float64(n-1))
+	}
+	return out
+}

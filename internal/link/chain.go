@@ -1,0 +1,69 @@
+package link
+
+import (
+	"time"
+
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+)
+
+// Chain wires several bottleneck links in series (a "parking lot" path):
+// a packet enqueued at the first hop is re-enqueued at the next hop as it
+// finishes serializing, optionally after a per-hop propagation delay, and
+// only the final hop's output reaches the chain's delivery callback.
+//
+// Every hop runs its own AQM, so a chain exercises multi-bottleneck
+// behaviour — e.g. whether two PI2 queues in series still hold their
+// targets and how the congestion signals compose (a flow crossing two
+// 20 ms-target queues sees up to 40 ms of AQM-controlled delay and the
+// product of survival probabilities).
+type Chain struct {
+	links []*Link
+}
+
+// HopSpec describes one hop of a chain.
+type HopSpec struct {
+	// Config is the hop's link configuration (rate, buffer, AQM).
+	Config Config
+	// PropDelay is added between this hop's output and the next hop's
+	// input (one-way). The final hop's PropDelay is applied before the
+	// chain's delivery callback.
+	PropDelay time.Duration
+}
+
+// NewChain builds the chain; deliver receives packets leaving the last hop.
+func NewChain(s *sim.Simulator, hops []HopSpec, deliver func(*packet.Packet)) *Chain {
+	if len(hops) == 0 {
+		panic("link: chain needs at least one hop")
+	}
+	c := &Chain{links: make([]*Link, len(hops))}
+	// Build from the last hop backwards so each hop's delivery target
+	// exists when the hop is constructed.
+	next := deliver
+	for i := len(hops) - 1; i >= 0; i-- {
+		hop := hops[i]
+		forward := next
+		var out func(*packet.Packet)
+		if hop.PropDelay > 0 {
+			delay := hop.PropDelay
+			out = func(p *packet.Packet) {
+				s.After(delay, func() { forward(p) })
+			}
+		} else {
+			out = forward
+		}
+		c.links[i] = New(s, hop.Config, out)
+		ingress := c.links[i]
+		next = ingress.Enqueue
+	}
+	return c
+}
+
+// Enqueue submits a packet at the head of the chain.
+func (c *Chain) Enqueue(p *packet.Packet) { c.links[0].Enqueue(p) }
+
+// Hop returns the i-th link for statistics access.
+func (c *Chain) Hop(i int) *Link { return c.links[i] }
+
+// Len returns the number of hops.
+func (c *Chain) Len() int { return len(c.links) }

@@ -1,0 +1,106 @@
+// Chain tests live in an external test package: they drive the chain with
+// real TCP endpoints, and package tcp itself imports link.
+package link_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+	"pi2/internal/tcp"
+)
+
+func mkData(flow int, seq int64) *packet.Packet {
+	return packet.NewData(flow, seq, packet.MSS, packet.NotECT)
+}
+
+func TestChainSerialDelivery(t *testing.T) {
+	s := sim.New(1)
+	var at []time.Duration
+	c := link.NewChain(s, []link.HopSpec{
+		{Config: link.Config{RateBps: 12e6}},                                   // 1 ms/pkt
+		{Config: link.Config{RateBps: 12e6}, PropDelay: 10 * time.Millisecond}, // +1 ms +10 ms
+	}, func(p *packet.Packet) { at = append(at, s.Now()) })
+	c.Enqueue(mkData(1, 0))
+	s.Run()
+	if len(at) != 1 {
+		t.Fatalf("delivered %d", len(at))
+	}
+	// 1 ms (hop 1) + 1 ms (hop 2) + 10 ms propagation.
+	if want := 12 * time.Millisecond; at[0] != want {
+		t.Errorf("delivered at %v, want %v", at[0], want)
+	}
+	if c.Len() != 2 || c.Hop(0).Dequeues() != 1 || c.Hop(1).Dequeues() != 1 {
+		t.Error("hop accounting")
+	}
+}
+
+func TestChainSlowestHopBottlenecks(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	c := link.NewChain(s, []link.HopSpec{
+		{Config: link.Config{RateBps: 100e6}},
+		{Config: link.Config{RateBps: 10e6}}, // the bottleneck
+		{Config: link.Config{RateBps: 100e6}},
+	}, func(*packet.Packet) { n++ })
+	for i := int64(0); i < 100; i++ {
+		c.Enqueue(mkData(1, i))
+	}
+	s.Run()
+	if n != 100 {
+		t.Fatalf("delivered %d", n)
+	}
+	// The middle hop must have accumulated the standing queue.
+	if c.Hop(1).Sojourn.Max() < c.Hop(0).Sojourn.Max() {
+		t.Error("bottleneck hop did not dominate queuing")
+	}
+}
+
+func TestChainEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty chain did not panic")
+		}
+	}()
+	link.NewChain(sim.New(1), nil, func(*packet.Packet) {})
+}
+
+// TestChainTwoPI2Bottlenecks runs a flow through two PI2-managed hops of
+// equal rate: both controllers hold their own 20 ms target and the flow
+// survives the composed signal (the multi-bottleneck sanity case).
+func TestChainTwoPI2Bottlenecks(t *testing.T) {
+	s := sim.New(3)
+	d := link.NewDispatcher()
+	mkAQM := func() aqm.AQM {
+		return aqm.NewPI(aqm.PIConfig{Alpha: 0.3125, Beta: 3.125, Target: 20 * time.Millisecond}, rand.New(rand.NewSource(s.RNG().Int63())))
+	}
+	c := link.NewChain(s, []link.HopSpec{
+		{Config: link.Config{RateBps: 10e6, AQM: mkAQM()}},
+		{Config: link.Config{RateBps: 10e6, AQM: mkAQM()}, PropDelay: 0},
+	}, d.Deliver)
+	for id := 1; id <= 5; id++ {
+		ep := tcp.NewWithEnqueuer(s, c.Enqueue, tcp.Config{
+			ID: id, CC: tcp.Reno{}, BaseRTT: 50 * time.Millisecond,
+		})
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+	}
+	s.RunUntil(60 * time.Second)
+
+	// With equal rates the first hop is the bottleneck (it smooths the
+	// arrivals for the second), but both AQMs must keep their queue under
+	// control and no hop's delay may run away.
+	for i := 0; i < 2; i++ {
+		mean := c.Hop(i).Sojourn.Mean()
+		if mean > 0.06 {
+			t.Errorf("hop %d mean sojourn %.1f ms, want controlled", i, mean*1e3)
+		}
+	}
+	if u := c.Hop(0).Utilization(); u < 0.85 {
+		t.Errorf("hop 0 utilization %.3f", u)
+	}
+}

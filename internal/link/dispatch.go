@@ -1,0 +1,39 @@
+package link
+
+import (
+	"fmt"
+
+	"pi2/internal/packet"
+)
+
+// Dispatcher routes packets leaving the bottleneck to per-flow handlers.
+// It is the delivery callback experiments hand to New.
+type Dispatcher struct {
+	handlers map[int]func(*packet.Packet)
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[int]func(*packet.Packet))}
+}
+
+// Register installs the handler for a flow id, replacing any previous one.
+func (d *Dispatcher) Register(flowID int, h func(*packet.Packet)) {
+	d.handlers[flowID] = h
+}
+
+// Unregister retires a flow: packets still in flight for it are silently
+// discarded rather than treated as a wiring bug.
+func (d *Dispatcher) Unregister(flowID int) {
+	d.handlers[flowID] = func(*packet.Packet) {}
+}
+
+// Deliver routes one packet. Packets for unknown flows panic: in this
+// simulator that is always a wiring bug, never a runtime condition.
+func (d *Dispatcher) Deliver(p *packet.Packet) {
+	h, ok := d.handlers[p.FlowID]
+	if !ok {
+		panic(fmt.Sprintf("link: no handler for flow %d", p.FlowID))
+	}
+	h(p)
+}

@@ -1,0 +1,334 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+)
+
+// dropNth is a test AQM that drops the nth offered packet (1-based).
+type dropNth struct {
+	n     int
+	seen  int
+	onDeq func(*packet.Packet)
+}
+
+func (d *dropNth) Name() string { return "dropNth" }
+func (d *dropNth) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	d.seen++
+	if d.seen == d.n {
+		return aqm.Drop
+	}
+	return aqm.Accept
+}
+func (d *dropNth) Dequeue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) {
+	if d.onDeq != nil {
+		d.onDeq(p)
+	}
+}
+func (d *dropNth) UpdateInterval() time.Duration       { return 0 }
+func (d *dropNth) Update(aqm.QueueInfo, time.Duration) {}
+
+func mkData(flow int, seq int64) *packet.Packet {
+	return packet.NewData(flow, seq, packet.MSS, packet.NotECT)
+}
+
+func TestSerializationTimingExact(t *testing.T) {
+	s := sim.New(1)
+	var deliveredAt []time.Duration
+	l := New(s, Config{RateBps: 12e6}, func(p *packet.Packet) {
+		deliveredAt = append(deliveredAt, s.Now())
+	})
+	// 1500 B at 12 Mb/s = exactly 1 ms per packet.
+	l.Enqueue(mkData(1, 0))
+	l.Enqueue(mkData(1, 1))
+	l.Enqueue(mkData(1, 2))
+	s.Run()
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(deliveredAt) != 3 {
+		t.Fatalf("delivered %d", len(deliveredAt))
+	}
+	for i := range want {
+		if deliveredAt[i] != want[i] {
+			t.Errorf("packet %d delivered at %v, want %v", i, deliveredAt[i], want[i])
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := sim.New(1)
+	var seqs []int64
+	l := New(s, Config{RateBps: 1e9}, func(p *packet.Packet) { seqs = append(seqs, p.Seq) })
+	for i := int64(0); i < 50; i++ {
+		l.Enqueue(mkData(1, i))
+	}
+	s.Run()
+	for i, q := range seqs {
+		if q != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs)
+		}
+	}
+}
+
+func TestBufferTailDrop(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	l := New(s, Config{RateBps: 1e6, BufferPackets: 5}, func(*packet.Packet) { n++ })
+	var droppedPkts []*packet.Packet
+	l.OnDrop = func(p *packet.Packet, r DropReason) {
+		if r != DropOverflow {
+			t.Errorf("reason %v, want overflow", r)
+		}
+		droppedPkts = append(droppedPkts, p)
+	}
+	// One goes straight to the transmitter, 5 queue, the rest drop.
+	for i := int64(0); i < 10; i++ {
+		l.Enqueue(mkData(1, i))
+	}
+	if got := l.Drops(DropOverflow); got != 4 {
+		t.Errorf("overflow drops = %d, want 4", got)
+	}
+	s.Run()
+	if n != 6 {
+		t.Errorf("delivered %d, want 6", n)
+	}
+	if l.TotalDrops() != 4 || len(droppedPkts) != 4 {
+		t.Errorf("TotalDrops=%d callback=%d", l.TotalDrops(), len(droppedPkts))
+	}
+}
+
+func TestAQMDropCounted(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 1e9, AQM: &dropNth{n: 2}}, func(*packet.Packet) {})
+	l.Enqueue(mkData(1, 0))
+	l.Enqueue(mkData(1, 1)) // dropped by AQM
+	l.Enqueue(mkData(1, 2))
+	s.Run()
+	if l.Drops(DropAQM) != 1 {
+		t.Errorf("AQM drops = %d, want 1", l.Drops(DropAQM))
+	}
+	if l.Enqueues() != 3 || l.Dequeues() != 2 {
+		t.Errorf("enq=%d deq=%d", l.Enqueues(), l.Dequeues())
+	}
+}
+
+// markAll marks every packet.
+type markAll struct{ dropNth }
+
+func (m *markAll) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	return aqm.Mark
+}
+
+func TestAQMMarkSetsCE(t *testing.T) {
+	s := sim.New(1)
+	var got packet.ECN
+	l := New(s, Config{RateBps: 1e9, AQM: &markAll{}}, func(p *packet.Packet) { got = p.ECN })
+	l.Enqueue(packet.NewData(1, 0, packet.MSS, packet.ECT0))
+	s.Run()
+	if got != packet.CE {
+		t.Errorf("delivered ECN %v, want CE", got)
+	}
+	if l.Marks() != 1 {
+		t.Errorf("marks = %d", l.Marks())
+	}
+}
+
+func TestHeadSojournAndBacklog(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 1e6}, func(*packet.Packet) {})
+	if l.HeadSojourn(s.Now()) != 0 {
+		t.Error("empty queue has sojourn")
+	}
+	l.Enqueue(mkData(1, 0)) // goes to transmitter
+	l.Enqueue(mkData(1, 1)) // queues
+	if l.BacklogPackets() != 1 {
+		t.Errorf("backlog = %d, want 1", l.BacklogPackets())
+	}
+	if l.BacklogBytes() != packet.FullLen {
+		t.Errorf("backlog bytes = %d", l.BacklogBytes())
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if got := l.HeadSojourn(s.Now()); got != 5*time.Millisecond {
+		t.Errorf("head sojourn = %v, want 5ms", got)
+	}
+}
+
+func TestQueueDelayNow(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 12e6}, func(*packet.Packet) {})
+	l.Enqueue(mkData(1, 0))
+	l.Enqueue(mkData(1, 1)) // 1500 B backlog at 12 Mb/s = 1 ms
+	if got := l.QueueDelayNow(); got != time.Millisecond {
+		t.Errorf("QueueDelayNow = %v, want 1ms", got)
+	}
+	s.Run()
+}
+
+func TestSetRateBps(t *testing.T) {
+	s := sim.New(1)
+	var at []time.Duration
+	l := New(s, Config{RateBps: 12e6}, func(*packet.Packet) { at = append(at, s.Now()) })
+	l.Enqueue(mkData(1, 0))
+	l.SetRateBps(1.2e6) // the queued packet (not yet started) uses the new rate
+	l.Enqueue(mkData(1, 1))
+	s.Run()
+	// First packet started at old rate: 1 ms. Second at new rate: 10 ms.
+	if at[0] != time.Millisecond || at[1] != 11*time.Millisecond {
+		t.Errorf("delivery times %v, want [1ms 11ms]", at)
+	}
+	if l.RateBps() != 1.2e6 {
+		t.Error("RateBps getter")
+	}
+}
+
+func TestUtilizationFull(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 12e6}, func(*packet.Packet) {})
+	for i := int64(0); i < 10; i++ {
+		l.Enqueue(mkData(1, i))
+	}
+	s.Run() // ends exactly when the last packet finishes
+	if u := l.Utilization(); u < 0.999 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+}
+
+func TestUtilizationHalf(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 12e6}, func(*packet.Packet) {})
+	l.Enqueue(mkData(1, 0)) // 1 ms of work
+	s.RunUntil(2 * time.Millisecond)
+	if u := l.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 12e6, BufferPackets: 1}, func(*packet.Packet) {})
+	l.Enqueue(mkData(1, 0))
+	l.Enqueue(mkData(1, 1))
+	l.Enqueue(mkData(1, 2)) // overflow
+	s.RunUntil(500 * time.Microsecond)
+	l.ResetStats()
+	if l.TotalDrops() != 0 || l.Enqueues() != 0 || l.Sojourn.N() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	// Utilization window restarts mid-transmission: the link is busy
+	// from the reset point on.
+	s.RunUntil(time.Millisecond)
+	if u := l.Utilization(); u < 0.99 {
+		t.Errorf("utilization after mid-busy reset = %v, want ~1", u)
+	}
+}
+
+func TestSojournRecorded(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 12e6}, func(*packet.Packet) {})
+	l.Enqueue(mkData(1, 0))
+	l.Enqueue(mkData(1, 1)) // waits 1 ms before serializing
+	s.Run()
+	if n := l.Sojourn.N(); n != 2 {
+		t.Fatalf("sojourn samples = %d", n)
+	}
+	if got := l.Sojourn.Max(); got < 0.0009 || got > 0.0011 {
+		t.Errorf("max sojourn = %v s, want ~1ms", got)
+	}
+}
+
+// headDropper drops every packet at dequeue (DequeueDropper).
+type headDropper struct{ dropNth }
+
+func (h *headDropper) DequeueVerdict(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	return aqm.Drop
+}
+
+func TestDequeueDropperDrainsQueue(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	l := New(s, Config{RateBps: 1e6, AQM: &headDropper{}}, func(*packet.Packet) { n++ })
+	for i := int64(0); i < 5; i++ {
+		l.Enqueue(mkData(1, i))
+	}
+	s.Run()
+	if n != 0 {
+		t.Errorf("delivered %d with head-drop-everything AQM", n)
+	}
+	if l.Drops(DropAQM) != 5 {
+		t.Errorf("AQM drops = %d, want 5", l.Drops(DropAQM))
+	}
+	// The link must be idle and reusable afterwards.
+	l2 := &dropNth{}
+	_ = l2
+	if l.BacklogPackets() != 0 {
+		t.Error("backlog left behind")
+	}
+}
+
+func TestDispatcherRoutes(t *testing.T) {
+	d := NewDispatcher()
+	got := map[int]int{}
+	d.Register(1, func(*packet.Packet) { got[1]++ })
+	d.Register(2, func(*packet.Packet) { got[2]++ })
+	d.Deliver(mkData(1, 0))
+	d.Deliver(mkData(2, 0))
+	d.Deliver(mkData(2, 1))
+	if got[1] != 1 || got[2] != 2 {
+		t.Errorf("routing wrong: %v", got)
+	}
+}
+
+func TestDispatcherUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown flow did not panic")
+		}
+	}()
+	NewDispatcher().Deliver(mkData(9, 0))
+}
+
+func TestDispatcherUnregisterDiscards(t *testing.T) {
+	d := NewDispatcher()
+	d.Register(1, func(*packet.Packet) { t.Fatal("handler called after unregister") })
+	d.Unregister(1)
+	d.Deliver(mkData(1, 0)) // must not panic, must not call old handler
+}
+
+func TestAQMTimerWired(t *testing.T) {
+	s := sim.New(1)
+	ticker := &countingAQM{interval: 10 * time.Millisecond}
+	New(s, Config{RateBps: 1e6, AQM: ticker}, func(*packet.Packet) {})
+	s.RunUntil(105 * time.Millisecond)
+	if ticker.updates != 10 {
+		t.Errorf("updates = %d, want 10", ticker.updates)
+	}
+}
+
+type countingAQM struct {
+	dropNth
+	interval time.Duration
+	updates  int
+}
+
+func (c *countingAQM) UpdateInterval() time.Duration       { return c.interval }
+func (c *countingAQM) Update(aqm.QueueInfo, time.Duration) { c.updates++ }
+
+func TestRingCompaction(t *testing.T) {
+	// Push/pop enough packets to force the head-index compaction path.
+	s := sim.New(1)
+	n := 0
+	l := New(s, Config{RateBps: 1e9}, func(*packet.Packet) { n++ })
+	for i := int64(0); i < 5000; i++ {
+		l.Enqueue(mkData(1, i))
+		if i%3 == 0 {
+			s.RunUntil(s.Now() + 100*time.Microsecond)
+		}
+	}
+	s.Run()
+	if n != 5000 {
+		t.Errorf("delivered %d, want 5000", n)
+	}
+}

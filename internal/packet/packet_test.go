@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestECNString(t *testing.T) {
+	cases := map[ECN]string{
+		NotECT: "Not-ECT",
+		ECT0:   "ECT(0)",
+		ECT1:   "ECT(1)",
+		CE:     "CE",
+		ECN(9): "ECN(9)",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestECNCapable(t *testing.T) {
+	for e, want := range map[ECN]bool{
+		NotECT: false, ECT0: true, ECT1: true, CE: true,
+	} {
+		if got := e.ECNCapable(); got != want {
+			t.Errorf("%v.ECNCapable() = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestScalableClassifier(t *testing.T) {
+	// The Figure 9 classifier: ECT(1) and CE take the Scalable path,
+	// ECT(0) and Not-ECT the Classic path.
+	for e, want := range map[ECN]bool{
+		NotECT: false, ECT0: false, ECT1: true, CE: true,
+	} {
+		if got := e.Scalable(); got != want {
+			t.Errorf("%v.Scalable() = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagACK | FlagECE
+	if !f.Has(FlagACK) || !f.Has(FlagECE) || !f.Has(FlagACK|FlagECE) {
+		t.Error("Has failed for set flags")
+	}
+	if f.Has(FlagCWR) || f.Has(FlagACK|FlagCWR) {
+		t.Error("Has true for unset flags")
+	}
+}
+
+func TestNewData(t *testing.T) {
+	p := NewData(3, 17, MSS, ECT1)
+	if p.FlowID != 3 || p.Seq != 17 || p.PayloadLen != MSS || p.ECN != ECT1 {
+		t.Errorf("NewData fields wrong: %+v", p)
+	}
+	if p.WireLen != MSS+HeaderLen {
+		t.Errorf("WireLen = %d, want %d", p.WireLen, MSS+HeaderLen)
+	}
+	if p.Flags.Has(FlagACK) {
+		t.Error("data segment has ACK flag")
+	}
+}
+
+func TestNewAck(t *testing.T) {
+	p := NewAck(4, 99)
+	if p.FlowID != 4 || p.Ack != 99 {
+		t.Errorf("NewAck fields wrong: %+v", p)
+	}
+	if !p.Flags.Has(FlagACK) {
+		t.Error("ACK missing ACK flag")
+	}
+	if p.WireLen != ACKLen {
+		t.Errorf("WireLen = %d, want %d", p.WireLen, ACKLen)
+	}
+	if p.PayloadLen != 0 {
+		t.Error("pure ACK has payload")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if FullLen != 1500 {
+		t.Errorf("FullLen = %d, want 1500 (standard Ethernet MTU)", FullLen)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	d := NewData(1, 2, MSS, ECT0)
+	if got := d.String(); got != "data{flow=1 seq=2 len=1448 ECT(0)}" {
+		t.Errorf("data String = %q", got)
+	}
+	a := NewAck(1, 5)
+	a.Flags |= FlagECE
+	if got := a.String(); got != "ack{flow=1 ack=5 ece=true}" {
+		t.Errorf("ack String = %q", got)
+	}
+}
+
+func TestTimestampsZeroByDefault(t *testing.T) {
+	p := NewData(1, 0, MSS, NotECT)
+	if p.SentAt != 0 || p.EnqueuedAt != time.Duration(0) {
+		t.Error("fresh packet carries timestamps")
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock in integer nanoseconds (time.Duration)
+// and a binary-heap event queue. Events scheduled for the same instant fire
+// in the order they were scheduled, which keeps simulations fully
+// deterministic for a given seed. All network components in this repository
+// (links, AQMs, TCP endpoints, traffic sources) are driven from a single
+// Simulator; nothing reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a closure to run at a simulated instant.
+type Event func()
+
+type item struct {
+	at   time.Duration
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   Event
+	dead bool // cancelled
+	idx  int
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled event; it can be cancelled.
+type Timer struct{ it *item }
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer, and safe to call on a nil Timer.
+func (t *Timer) Stop() {
+	if t == nil || t.it == nil {
+		return
+	}
+	t.it.dead = true
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+
+	// processed counts events executed, for diagnostics and run limits.
+	processed uint64
+	// MaxEvents aborts Run with a panic if exceeded (0 = unlimited).
+	// It is a guard against accidentally unbounded simulations in tests.
+	MaxEvents uint64
+}
+
+// New returns a Simulator whose RNG streams derive from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Processed reports how many events have executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// RNG returns a new independent random stream seeded from the simulator's
+// root RNG. Components should each take their own stream at construction so
+// adding a component does not perturb the draws seen by others.
+func (s *Simulator) RNG() *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
+
+// At schedules fn at an absolute virtual time. Scheduling in the past
+// (before Now) panics: it would break causality.
+func (s *Simulator) At(t time.Duration, fn Event) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	it := &item{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn delay from now. Negative delays panic.
+func (s *Simulator) After(delay time.Duration, fn Event) *Timer {
+	return s.At(s.now+delay, fn)
+}
+
+// Every schedules fn every interval, starting one interval from now,
+// until the returned Timer is stopped. fn observes the tick time via Now.
+func (s *Simulator) Every(interval time.Duration, fn Event) *Timer {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.it.dead { // fn may have stopped us
+			t.it = s.After(interval, tick).it
+		}
+	}
+	t.it = s.After(interval, tick).it
+	return t
+}
+
+// Step executes the next pending event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		it := heap.Pop(&s.heap).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.processed++
+		if s.MaxEvents > 0 && s.processed > s.MaxEvents {
+			panic("sim: MaxEvents exceeded")
+		}
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the virtual clock would pass end, then sets
+// the clock to end. Events scheduled exactly at end do run.
+func (s *Simulator) RunUntil(end time.Duration) {
+	for {
+		it := s.peek()
+		if it == nil || it.at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending reports the number of live events in the queue.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, it := range s.heap {
+		if !it.dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) peek() *item {
+	for len(s.heap) > 0 {
+		if s.heap[0].dead {
+			heap.Pop(&s.heap)
+			continue
+		}
+		return s.heap[0]
+	}
+	return nil
+}

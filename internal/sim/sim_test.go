@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		d := d * time.Millisecond
+		s.After(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("events out of order: %v", got)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s := New(1)
+	s.After(-time.Second, func() {})
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.After(time.Millisecond, func() { ran = true })
+	tm.Stop()
+	s.Run()
+	if ran {
+		t.Error("stopped timer still fired")
+	}
+	// Stopping again (and stopping nil) must be safe.
+	tm.Stop()
+	var nilTimer *Timer
+	nilTimer.Stop()
+}
+
+func TestEveryTicksAndStops(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tm *Timer
+	tm = s.Every(10*time.Millisecond, func() {
+		n++
+		if n == 5 {
+			tm.Stop()
+		}
+	})
+	s.RunUntil(time.Second)
+	if n != 5 {
+		t.Errorf("ticked %d times, want 5", n)
+	}
+	if s.Now() != time.Second {
+		t.Errorf("RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestEveryZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestRunUntilIncludesBoundary(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(time.Second, func() { ran = true })
+	s.RunUntil(time.Second)
+	if !ran {
+		t.Error("event exactly at the boundary did not run")
+	}
+}
+
+func TestRunUntilExcludesLater(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(time.Second+1, func() { ran = true })
+	s.RunUntil(time.Second)
+	if ran {
+		t.Error("event after the boundary ran")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Microsecond, recurse)
+		}
+	}
+	s.After(0, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	s := New(1)
+	s.MaxEvents = 10
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxEvents did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a1 := New(7).RNG()
+	// Taking a second stream first must not change the first stream's
+	// draws for a fresh simulator with the same seed.
+	s := New(7)
+	b1 := s.RNG()
+	_ = s.RNG()
+	x, y := a1.Float64(), b1.Float64()
+	if x != y {
+		t.Errorf("first stream differs: %v vs %v", x, y)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		s := New(99)
+		rng := s.RNG()
+		var out []float64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(rng.Int63n(int64(time.Second)))
+			s.After(d, func() { out = append(out, rng.Float64()) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+}
+
+// TestPropertyOrdering: for any set of non-negative delays, execution order
+// is a sorted permutation of the scheduled times.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := New(1)
+		want := make([]time.Duration, 0, len(raw))
+		got := make([]time.Duration, 0, len(raw))
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			want = append(want, d)
+			s.After(d, func() { got = append(got, s.Now()) })
+		}
+		s.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	s.After(0, func() {})
+	if !s.Step() {
+		t.Error("Step with pending event returned false")
+	}
+	if s.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", s.Processed())
+	}
+}
+
+func TestCancelledEventsSkippedByPending(t *testing.T) {
+	s := New(1)
+	t1 := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	t1.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+}

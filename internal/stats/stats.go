@@ -1,0 +1,250 @@
+// Package stats provides the measurement primitives the experiment harness
+// uses: streaming mean/variance, exact percentile collectors, CDFs,
+// fixed-interval time-series samplers and byte-rate meters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// Sample collects raw observations for exact percentiles.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	w      Welford
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.w.Add(x)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the mean of all observations (0 if empty).
+func (s *Sample) Mean() float64 { return s.w.Mean() }
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return s.w.Stddev() }
+
+// Percentile returns the q-th percentile (q in [0,100]) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Percentile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// Merge incorporates every observation of other into s.
+func (s *Sample) Merge(other *Sample) {
+	for _, x := range other.xs {
+		s.Add(x)
+	}
+}
+
+// Values returns a copy of the raw observations in insertion-or-sorted
+// order (unspecified); callers must not rely on ordering.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// CDF returns up to points (x, F(x)) pairs describing the empirical CDF.
+func (s *Sample) CDF(points int) []CDFPoint {
+	if len(s.xs) == 0 || points <= 0 {
+		return nil
+	}
+	s.sort()
+	if points > len(s.xs) {
+		points = len(s.xs)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * len(s.xs) / points
+		if idx > len(s.xs) {
+			idx = len(s.xs)
+		}
+		out = append(out, CDFPoint{X: s.xs[idx-1], F: float64(idx) / float64(len(s.xs))})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF: F = P[value <= X].
+type CDFPoint struct {
+	X float64
+	F float64
+}
+
+// Summary formats n, mean and the common percentiles; used in reports.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4g p25=%.4g p50=%.4g p99=%.4g",
+		s.N(), s.Mean(), s.Percentile(25), s.Percentile(50), s.Percentile(99))
+}
+
+// TimeSeries samples a value at fixed intervals of virtual time.
+// The experiment drivers use 1 s sampling to match the paper's plots.
+type TimeSeries struct {
+	Interval time.Duration
+	Times    []time.Duration
+	Values   []float64
+}
+
+// Record appends one (t, v) sample.
+func (ts *TimeSeries) Record(t time.Duration, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Values) }
+
+// Max returns the largest recorded value (0 if empty).
+func (ts *TimeSeries) Max() float64 {
+	m := 0.0
+	for _, v := range ts.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxAfter returns the largest value recorded at or after t.
+func (ts *TimeSeries) MaxAfter(t time.Duration) float64 {
+	m := 0.0
+	for i, v := range ts.Values {
+		if ts.Times[i] >= t && v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanAfter returns the mean of values recorded at or after t.
+func (ts *TimeSeries) MeanAfter(t time.Duration) float64 {
+	var sum float64
+	var n int
+	for i, v := range ts.Values {
+		if ts.Times[i] >= t {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RateMeter integrates bytes over virtual time to yield bit rates.
+type RateMeter struct {
+	bytes     int64
+	lastReset time.Duration
+}
+
+// Add accounts for n bytes delivered.
+func (r *RateMeter) Add(n int) { r.bytes += int64(n) }
+
+// Bytes returns the byte count since the last reset.
+func (r *RateMeter) Bytes() int64 { return r.bytes }
+
+// RateBps returns the average rate in bits/s between the last reset and now.
+func (r *RateMeter) RateBps(now time.Duration) float64 {
+	dt := (now - r.lastReset).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(r.bytes) * 8 / dt
+}
+
+// Reset zeroes the meter and starts a new measurement window at now.
+func (r *RateMeter) Reset(now time.Duration) {
+	r.bytes = 0
+	r.lastReset = now
+}
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over allocations:
+// 1 for perfectly equal shares, 1/n when one participant takes everything.
+// Used by the coexistence experiments to summarize per-flow rates.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

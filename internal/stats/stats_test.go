@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-variance) > 1e-6 {
+		t.Errorf("var = %v, want %v", w.Var(), variance)
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Stddev() != 0 {
+		t.Error("empty Welford not zero")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Var() != 0 {
+		t.Error("single-value Welford wrong")
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		s.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50},
+		{-1, 10}, {101, 50},
+		{12.5, 15}, // interpolation midway between 10 and 20
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should return zeros")
+	}
+}
+
+func TestSampleAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	if s.Percentile(50) != 2 {
+		t.Fatal("median of {2}")
+	}
+	s.Add(1) // must re-sort lazily
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("min after late Add = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+		}
+		pts := s.CDF(10)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].F < pts[i-1].F {
+				return false
+			}
+		}
+		if n := len(pts); n > 0 && math.Abs(pts[n-1].F-1) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPercentileBounds: any percentile lies within [min, max].
+func TestPropertyPercentileBounds(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if s.N() == 0 {
+			return s.Percentile(q) == 0
+		}
+		p := s.Percentile(math.Mod(math.Abs(q), 101))
+		return p >= lo && p <= hi
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 3 || a.Max() != 3 {
+		t.Errorf("merge failed: n=%d max=%v", a.N(), a.Max())
+	}
+}
+
+func TestValuesIsACopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	v := s.Values()
+	v[0] = 99
+	if s.Percentile(50) != 1 {
+		t.Error("Values leaked internal storage")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := TimeSeries{Interval: time.Second}
+	ts.Record(1*time.Second, 5)
+	ts.Record(2*time.Second, 9)
+	ts.Record(3*time.Second, 2)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if ts.Max() != 9 {
+		t.Errorf("Max = %v", ts.Max())
+	}
+	if ts.MaxAfter(3*time.Second) != 2 {
+		t.Errorf("MaxAfter(3s) = %v", ts.MaxAfter(3*time.Second))
+	}
+	if got := ts.MeanAfter(2 * time.Second); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("MeanAfter(2s) = %v, want 5.5", got)
+	}
+	if ts.MeanAfter(10*time.Second) != 0 {
+		t.Error("MeanAfter past end should be 0")
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var r RateMeter
+	r.Reset(0)
+	r.Add(1000) // 1000 bytes over 1 s = 8000 bit/s
+	if got := r.RateBps(time.Second); math.Abs(got-8000) > 1e-9 {
+		t.Errorf("RateBps = %v, want 8000", got)
+	}
+	if r.RateBps(0) != 0 {
+		t.Error("zero interval should give 0")
+	}
+	r.Reset(time.Second)
+	if r.Bytes() != 0 {
+		t.Error("Reset did not clear bytes")
+	}
+	r.Add(500)
+	if got := r.RateBps(2 * time.Second); math.Abs(got-4000) > 1e-9 {
+		t.Errorf("RateBps after reset = %v, want 4000", got)
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if got := s.Summary(); got == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestCDFPointsCap(t *testing.T) {
+	var s Sample
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i))
+	}
+	if got := len(s.CDF(100)); got != 5 {
+		t.Errorf("CDF points = %d, want 5 (capped at N)", got)
+	}
+	if s.CDF(0) != nil {
+		t.Error("CDF(0) should be nil")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly: %v, want 1/n", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all zero: %v", got)
+	}
+	// Scale invariance.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("not scale invariant: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,127 @@
+package tcp
+
+import "time"
+
+// DCTCP implements Data Center TCP with accurate per-ACK ECN feedback.
+//
+// Each observation window (one round trip of sequence space) the fraction F
+// of CE-marked segments updates the EWMA α ← (1−g)·α + g·F with g = 1/16,
+// and if any segment was marked the window is reduced once by α/2:
+// cwnd ← cwnd·(1−α/2). Under an AQM applying probabilistic (not step)
+// marking this yields the steady-state window W = 2/p of the paper's
+// equation (11), i.e. a Scalable control with B = 1.
+//
+// Loss is handled like Reno (the paper's testbed used unmodified Linux
+// DCTCP, which falls back to a 0.5 reduction on loss).
+type DCTCP struct {
+	// G is the EWMA gain (1/16 by default, as in the DCTCP paper).
+	G float64
+	// InitialAlpha is α at connection start (1.0, conservative, like Linux).
+	InitialAlpha float64
+
+	alpha       float64
+	ackedSegs   int
+	markedSegs  int
+	windowEnd   int64 // sequence (in segments) closing the observation window
+	reduceAtEnd bool
+	sndUnaRef   *int64 // set by the endpoint; current cumulative ACK point
+	sndNxtRef   *int64
+}
+
+// Name implements CongestionControl.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Init implements CongestionControl.
+func (d *DCTCP) Init(s *State) {
+	if d.G == 0 {
+		d.G = 1.0 / 16
+	}
+	if d.InitialAlpha == 0 {
+		d.InitialAlpha = 1
+	}
+	d.alpha = d.InitialAlpha
+	d.windowEnd = -1
+}
+
+// Alpha exposes the current marking-fraction estimate (for tests/reports).
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// bindSeq lets the endpoint share its sequence state so the observation
+// window can span exactly one round trip of sequence space.
+func (d *DCTCP) bindSeq(sndUna, sndNxt *int64) {
+	d.sndUnaRef = sndUna
+	d.sndNxtRef = sndNxt
+}
+
+// OnAck implements CongestionControl.
+func (d *DCTCP) OnAck(s *State, acked int, ackedCE bool, now time.Duration) {
+	d.ackedSegs += acked
+	if ackedCE {
+		d.markedSegs += acked
+	}
+	if d.windowEnd < 0 && d.sndNxtRef != nil {
+		d.windowEnd = *d.sndNxtRef
+	}
+	// Close the observation window when the ACK point passes it.
+	if d.sndUnaRef != nil && *d.sndUnaRef >= d.windowEnd {
+		f := 0.0
+		if d.ackedSegs > 0 {
+			f = float64(d.markedSegs) / float64(d.ackedSegs)
+		}
+		d.alpha = (1-d.G)*d.alpha + d.G*f
+		if d.markedSegs > 0 {
+			s.Cwnd *= 1 - d.alpha/2
+			s.clampCwnd()
+			s.Ssthresh = s.Cwnd
+		}
+		d.ackedSegs, d.markedSegs = 0, 0
+		d.windowEnd = *d.sndNxtRef
+	}
+	// Growth is Reno-like: slow start, then 1 segment per RTT.
+	renoIncrease(s, acked)
+}
+
+// OnCongestionEvent implements CongestionControl (loss → Reno halving).
+func (d *DCTCP) OnCongestionEvent(s *State, now time.Duration) {
+	Reno{}.OnCongestionEvent(s, now)
+}
+
+// OnRTO implements CongestionControl.
+func (d *DCTCP) OnRTO(s *State, now time.Duration) {
+	Reno{}.OnRTO(s, now)
+	d.ackedSegs, d.markedSegs = 0, 0
+	d.windowEnd = -1
+}
+
+// Scalable is the idealized scalable control of Appendix B equation (22):
+// it reduces the window by half a segment per CE mark, immediately, with no
+// smoothing, and increases by one segment per RTT. Its steady-state window
+// is W = 2/p′ exactly; the paper uses it as the analytic stand-in for DCTCP.
+type Scalable struct{}
+
+// Name implements CongestionControl.
+func (Scalable) Name() string { return "scalable" }
+
+// Init implements CongestionControl.
+func (Scalable) Init(s *State) {}
+
+// OnAck implements CongestionControl.
+func (Scalable) OnAck(s *State, acked int, ackedCE bool, _ time.Duration) {
+	if ackedCE {
+		s.Cwnd -= 0.5 * float64(acked)
+		s.clampCwnd()
+		if s.Ssthresh > s.Cwnd {
+			s.Ssthresh = s.Cwnd // leave slow start on first mark
+		}
+		return
+	}
+	renoIncrease(s, acked)
+}
+
+// OnCongestionEvent implements CongestionControl.
+func (Scalable) OnCongestionEvent(s *State, now time.Duration) {
+	Reno{}.OnCongestionEvent(s, now)
+}
+
+// OnRTO implements CongestionControl.
+func (Scalable) OnRTO(s *State, now time.Duration) { Reno{}.OnRTO(s, now) }

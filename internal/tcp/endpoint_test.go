@@ -1,0 +1,351 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+)
+
+// dropSet is a test AQM that drops specific (flow, seq) data segments the
+// first time they are offered.
+type dropSet struct {
+	drop map[int64]bool
+}
+
+func (d *dropSet) Name() string { return "dropset" }
+func (d *dropSet) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	if d.drop[p.Seq] && !p.Retransmit {
+		delete(d.drop, p.Seq)
+		return aqm.Drop
+	}
+	return aqm.Accept
+}
+func (d *dropSet) Dequeue(*packet.Packet, aqm.QueueInfo, time.Duration) {}
+func (d *dropSet) UpdateInterval() time.Duration                        { return 0 }
+func (d *dropSet) Update(aqm.QueueInfo, time.Duration)                  {}
+
+// markSet CE-marks specific sequence numbers.
+type markSet struct {
+	mark map[int64]bool
+}
+
+func (m *markSet) Name() string { return "markset" }
+func (m *markSet) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	if m.mark[p.Seq] {
+		return aqm.Mark
+	}
+	return aqm.Accept
+}
+func (m *markSet) Dequeue(*packet.Packet, aqm.QueueInfo, time.Duration) {}
+func (m *markSet) UpdateInterval() time.Duration                        { return 0 }
+func (m *markSet) Update(aqm.QueueInfo, time.Duration)                  {}
+
+// harness wires one endpoint through a fast link.
+func harness(t *testing.T, a aqm.AQM, cfg Config) (*sim.Simulator, *Endpoint, *link.Link) {
+	t.Helper()
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{RateBps: 100e6, AQM: a}, d.Deliver)
+	if cfg.BaseRTT == 0 {
+		cfg.BaseRTT = 10 * time.Millisecond
+	}
+	if cfg.ID == 0 {
+		cfg.ID = 1
+	}
+	ep := New(s, l, cfg)
+	d.Register(cfg.ID, ep.DeliverData)
+	return s, ep, l
+}
+
+func TestBulkTransferProgresses(t *testing.T) {
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(2 * time.Second)
+	if ep.Goodput.Bytes() == 0 {
+		t.Fatal("no goodput")
+	}
+	if ep.Retransmissions() != 0 {
+		t.Errorf("retransmissions on a loss-free path: %d", ep.Retransmissions())
+	}
+	if ep.State().MinRTT < 10*time.Millisecond {
+		t.Errorf("MinRTT = %v, below base RTT", ep.State().MinRTT)
+	}
+}
+
+func TestFiniteFlowCompletes(t *testing.T) {
+	done := time.Duration(0)
+	s, ep, _ := harness(t, nil, Config{
+		CC:       Reno{},
+		FlowSegs: 100,
+		OnComplete: func(now time.Duration) {
+			done = now
+		},
+	})
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	if !ep.Completed() {
+		t.Fatal("flow did not complete")
+	}
+	if done == 0 || ep.FCT() == 0 {
+		t.Error("completion time not recorded")
+	}
+	// 100 segments over a 100 Mb/s link with 10 ms RTT in slow start
+	// from IW10: roughly 4 round trips.
+	if fct := ep.FCT(); fct > 200*time.Millisecond {
+		t.Errorf("FCT = %v, unexpectedly slow", fct)
+	}
+	if got := ep.Goodput.Bytes(); got != 100*packet.MSS {
+		t.Errorf("goodput bytes = %d, want %d", got, 100*packet.MSS)
+	}
+}
+
+func TestFastRetransmitRecoversSingleLoss(t *testing.T) {
+	s, ep, _ := harness(t, &dropSet{drop: map[int64]bool{30: true}}, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(2 * time.Second)
+	if ep.Retransmissions() != 1 {
+		t.Errorf("retransmissions = %d, want exactly 1", ep.Retransmissions())
+	}
+	if ep.RTOCount() != 0 {
+		t.Errorf("RTO fired %d times; fast retransmit should have recovered", ep.RTOCount())
+	}
+	if ep.CongestionEvents() != 1 {
+		t.Errorf("congestion events = %d, want 1", ep.CongestionEvents())
+	}
+	if ep.State().InRecovery {
+		t.Error("still in recovery long after the loss")
+	}
+	if ep.Goodput.Bytes() == 0 {
+		t.Error("transfer stalled")
+	}
+}
+
+func TestMultipleLossesSameWindow(t *testing.T) {
+	drops := map[int64]bool{40: true, 42: true, 44: true}
+	s, ep, _ := harness(t, &dropSet{drop: drops}, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(3 * time.Second)
+	if ep.Goodput.Bytes() == 0 {
+		t.Fatal("stalled after burst loss")
+	}
+	// NewReno heals one hole per RTT: 3 retransmissions, one recovery
+	// episode (possibly plus an RTO if the window was tiny).
+	if ep.Retransmissions() < 3 {
+		t.Errorf("retransmissions = %d, want >= 3", ep.Retransmissions())
+	}
+	if ep.State().InRecovery {
+		t.Error("stuck in recovery")
+	}
+}
+
+func TestRTORecoversLostRetransmit(t *testing.T) {
+	// Drop seq 30 twice (original and the fast retransmit): only the
+	// retransmission timer can recover.
+	a := &stubbornDropper{seq: 30, times: 2}
+	s, ep, _ := harness(t, a, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	if ep.RTOCount() == 0 {
+		t.Error("RTO never fired despite a lost retransmission")
+	}
+	if ep.State().InRecovery {
+		t.Error("stuck in recovery after RTO")
+	}
+	if ep.Goodput.RateBps(s.Now()) == 0 {
+		t.Error("stalled")
+	}
+}
+
+// stubbornDropper drops a given seq the first `times` times it appears,
+// retransmission or not.
+type stubbornDropper struct {
+	seq   int64
+	times int
+}
+
+func (d *stubbornDropper) Name() string { return "stubborn" }
+func (d *stubbornDropper) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	if p.Seq == d.seq && d.times > 0 && p.PayloadLen > 0 {
+		d.times--
+		return aqm.Drop
+	}
+	return aqm.Accept
+}
+func (d *stubbornDropper) Dequeue(*packet.Packet, aqm.QueueInfo, time.Duration) {}
+func (d *stubbornDropper) UpdateInterval() time.Duration                        { return 0 }
+func (d *stubbornDropper) Update(aqm.QueueInfo, time.Duration)                  {}
+
+func TestClassicECNHandshake(t *testing.T) {
+	// Mark one segment: an ECN-Classic flow must reduce once (no
+	// retransmission) and clear the echo with CWR.
+	s, ep, l := harness(t, &markSet{mark: map[int64]bool{25: true}},
+		Config{CC: Reno{}, ECN: ECNClassic})
+	ep.Start()
+	s.RunUntil(2 * time.Second)
+	if ep.MarksSeen() != 1 {
+		t.Fatalf("marks seen = %d, want 1", ep.MarksSeen())
+	}
+	if ep.CongestionEvents() != 1 {
+		t.Errorf("congestion events = %d, want exactly 1 (ECE latch must not re-trigger)", ep.CongestionEvents())
+	}
+	if ep.Retransmissions() != 0 {
+		t.Errorf("retransmissions = %d; ECN must not retransmit", ep.Retransmissions())
+	}
+	if l.TotalDrops() != 0 {
+		t.Errorf("drops = %d on a mark-only path", l.TotalDrops())
+	}
+}
+
+func TestScalableAccurateFeedback(t *testing.T) {
+	// Mark three scattered segments: the idealized Scalable control
+	// reduces by exactly 0.5 segment per mark.
+	marks := map[int64]bool{100: true, 101: true, 102: true}
+	s, ep, _ := harness(t, &markSet{mark: marks}, Config{CC: Scalable{}, ECN: ECNScalable})
+	ep.Start()
+	// Run until well past slow start.
+	s.RunUntil(2 * time.Second)
+	if ep.MarksSeen() != 3 {
+		t.Fatalf("marks seen = %d, want 3", ep.MarksSeen())
+	}
+	if ep.CongestionEvents() != 0 {
+		t.Errorf("scalable flow logged %d Classic congestion events", ep.CongestionEvents())
+	}
+}
+
+func TestStopDrainsInflight(t *testing.T) {
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(500 * time.Millisecond)
+	ep.Stop()
+	if !ep.Stopped() {
+		t.Fatal("not stopped")
+	}
+	before := ep.Goodput.Bytes()
+	// Without an AQM the tail-drop queue is deep; give it ample time to
+	// drain completely, then verify delivery has ceased for good.
+	s.RunUntil(30 * time.Second)
+	after := ep.Goodput.Bytes()
+	s.RunUntil(35 * time.Second)
+	if got := ep.Goodput.Bytes(); got != after {
+		t.Errorf("goodput kept growing after drain: %d -> %d", after, got)
+	}
+	if after < before {
+		t.Error("goodput went backwards")
+	}
+}
+
+func TestRTTSampling(t *testing.T) {
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}, BaseRTT: 40 * time.Millisecond})
+	ep.Start()
+	// Stop before slow start exceeds the 345-packet BDP, so the tail-drop
+	// queue stays empty and the measured RTT reflects the base path.
+	s.RunUntil(200 * time.Millisecond)
+	st := ep.State()
+	if st.SRTT < 40*time.Millisecond || st.SRTT > 60*time.Millisecond {
+		t.Errorf("SRTT = %v, want slightly above the 40 ms base", st.SRTT)
+	}
+	if st.MinRTT < 40*time.Millisecond || st.MinRTT > 42*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~base + serialization", st.MinRTT)
+	}
+	if ep.RTTSamples.N() == 0 {
+		t.Error("no RTT samples")
+	}
+}
+
+func TestSlowStartThenCongestionAvoidance(t *testing.T) {
+	s, ep, _ := harness(t, &dropSet{drop: map[int64]bool{200: true}}, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(3 * time.Second)
+	st := ep.State()
+	if st.InSlowStart() {
+		t.Error("still in slow start after a congestion event")
+	}
+	if st.Ssthresh > 1e6 {
+		t.Error("ssthresh never set")
+	}
+}
+
+func TestECNCodepoints(t *testing.T) {
+	cases := []struct {
+		mode ECNMode
+		want packet.ECN
+	}{
+		{ECNOff, packet.NotECT},
+		{ECNClassic, packet.ECT0},
+		{ECNScalable, packet.ECT1},
+	}
+	for _, c := range cases {
+		s := sim.New(1)
+		d := link.NewDispatcher()
+		var seen packet.ECN
+		l := link.New(s, link.Config{RateBps: 1e9}, func(p *packet.Packet) {
+			seen = p.ECN
+			d.Deliver(p)
+		})
+		ep := New(s, l, Config{ID: 1, CC: Reno{}, ECN: c.mode, BaseRTT: time.Millisecond})
+		d.Register(1, ep.DeliverData)
+		ep.Start()
+		s.RunUntil(10 * time.Millisecond)
+		if seen != c.want {
+			t.Errorf("mode %v: codepoint %v, want %v", c.mode, seen, c.want)
+		}
+	}
+}
+
+func TestReorderingToleratedBelowDupThresh(t *testing.T) {
+	// Two dupacks (reordering) must not trigger a congestion response.
+	// Simulate by marking nothing and dropping nothing — covered — so
+	// instead check the dupack counter logic directly: a dropped segment
+	// recovered before the third dupack cannot happen with cumulative
+	// ACKs; assert at least that no spurious events occur loss-free.
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}})
+	ep.Start()
+	s.RunUntil(time.Second)
+	if ep.CongestionEvents() != 0 {
+		t.Errorf("spurious congestion events: %d", ep.CongestionEvents())
+	}
+}
+
+func TestNewCCFactory(t *testing.T) {
+	for name, wantMode := range map[string]ECNMode{
+		"reno": ECNOff, "cubic": ECNOff,
+		"ecn-reno": ECNClassic, "ecn-cubic": ECNClassic,
+		"dctcp": ECNScalable, "scalable": ECNScalable,
+	} {
+		cc, mode, err := NewCC(name)
+		if err != nil {
+			t.Fatalf("NewCC(%q): %v", name, err)
+		}
+		if cc == nil || mode != wantMode {
+			t.Errorf("NewCC(%q) = %v/%v", name, cc, mode)
+		}
+	}
+	if _, _, err := NewCC("bbr"); err == nil {
+		t.Error("unknown CC did not error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil CC did not panic")
+		}
+	}()
+	NewWithEnqueuer(s, func(*packet.Packet) {}, Config{})
+}
+
+func TestStringer(t *testing.T) {
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}})
+	_ = s
+	if ep.String() == "" || ep.CCName() != "reno" || ep.ID() != 1 {
+		t.Error("accessors")
+	}
+	if ECNMode(99).String() != "invalid" {
+		t.Error("ECNMode stringer")
+	}
+}

@@ -1,0 +1,30 @@
+package tcp
+
+import "fmt"
+
+// NewCC builds a congestion control and its matching ECN mode by name.
+// Recognized names:
+//
+//	reno       TCP Reno, loss-based (Not-ECT)
+//	cubic      TCP Cubic, loss-based (Not-ECT)
+//	ecn-reno   TCP Reno with classic ECN (ECT(0))
+//	ecn-cubic  TCP Cubic with classic ECN (ECT(0)) — the paper's control
+//	dctcp      DCTCP with accurate ECN feedback (ECT(1))
+//	scalable   the idealized Scalable control of Appendix B (ECT(1))
+func NewCC(name string) (CongestionControl, ECNMode, error) {
+	switch name {
+	case "reno":
+		return Reno{}, ECNOff, nil
+	case "cubic":
+		return &Cubic{}, ECNOff, nil
+	case "ecn-reno":
+		return Reno{}, ECNClassic, nil
+	case "ecn-cubic":
+		return &Cubic{}, ECNClassic, nil
+	case "dctcp":
+		return &DCTCP{}, ECNScalable, nil
+	case "scalable":
+		return Scalable{}, ECNScalable, nil
+	}
+	return nil, ECNOff, fmt.Errorf("tcp: unknown congestion control %q", name)
+}

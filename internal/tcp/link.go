@@ -1,0 +1,13 @@
+package tcp
+
+import (
+	"pi2/internal/link"
+	"pi2/internal/sim"
+)
+
+// New creates an endpoint transmitting through a standard bottleneck link.
+// It is the common constructor; NewWithEnqueuer generalizes it for other
+// bottlenecks (e.g. the DualPI2 dual queue).
+func New(s *sim.Simulator, l *link.Link, cfg Config) *Endpoint {
+	return NewWithEnqueuer(s, l.Enqueue, cfg)
+}

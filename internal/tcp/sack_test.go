@@ -1,0 +1,311 @@
+package tcp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/sim"
+)
+
+func TestSackBlocks(t *testing.T) {
+	cases := []struct {
+		in     []int64
+		recent int64
+		want   [][2]int64
+	}{
+		{nil, -1, nil},
+		{[]int64{5}, -1, [][2]int64{{5, 6}}},
+		{[]int64{5, 6, 7}, -1, [][2]int64{{5, 8}}},
+		{[]int64{5, 7, 8, 12}, -1, [][2]int64{{5, 6}, {7, 9}, {12, 13}}},
+		// More than four runs, no recent hint: lowest four.
+		{[]int64{1, 3, 5, 7, 9, 11}, -1, [][2]int64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}},
+		// The run containing the triggering segment comes first, then
+		// wrap-around order, capped at four.
+		{[]int64{1, 3, 5, 7, 9, 11}, 9, [][2]int64{{9, 10}, {11, 12}, {1, 2}, {3, 4}}},
+		{[]int64{5, 7, 8, 12}, 8, [][2]int64{{7, 9}, {12, 13}, {5, 6}}},
+	}
+	for _, c := range cases {
+		if got := sackBlocks(c.in, c.recent); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("sackBlocks(%v, %d) = %v, want %v", c.in, c.recent, got, c.want)
+		}
+	}
+}
+
+func TestScoreboardRecordAndPipe(t *testing.T) {
+	ss := newSackState()
+	ss.record([][2]int64{{5, 8}}, 0) // 5,6,7 sacked
+	if ss.cntSacked != 3 || ss.highest != 8 {
+		t.Fatalf("cntSacked=%d highest=%d", ss.cntSacked, ss.highest)
+	}
+	// FACK: 0..4 have 3 sacked above them once highest-3 >= 5.
+	if n := ss.inferLosses(0); n != 5 {
+		t.Errorf("inferred %d losses, want 5 (0..4)", n)
+	}
+	// pipe with sndNxt = 8: 8 outstanding − 3 sacked − 5 lost = 0.
+	if p := ss.pipe(0, 8); p != 0 {
+		t.Errorf("pipe = %d, want 0", p)
+	}
+	// Retransmitting one loss raises pipe by one.
+	seq, ok := ss.nextRetx(0)
+	if !ok || seq != 0 {
+		t.Fatalf("nextRetx = %d,%v", seq, ok)
+	}
+	ss.markRetx(seq)
+	if p := ss.pipe(0, 8); p != 1 {
+		t.Errorf("pipe after retx = %d, want 1", p)
+	}
+}
+
+func TestScoreboardAdvanceCleans(t *testing.T) {
+	ss := newSackState()
+	ss.record([][2]int64{{5, 8}}, 0)
+	ss.inferLosses(0)
+	ss.advance(0, 8)
+	if ss.cntSacked != 0 || ss.cntLostUnretx != 0 {
+		t.Errorf("counters after advance: sacked=%d lost=%d", ss.cntSacked, ss.cntLostUnretx)
+	}
+	if _, ok := ss.nextRetx(8); ok {
+		t.Error("stale retransmission after advance")
+	}
+}
+
+func TestScoreboardLateLossStillQueued(t *testing.T) {
+	// Losses inferred after earlier ones were exhausted must still be
+	// retransmitted (the bug class an exhausted cursor would cause).
+	ss := newSackState()
+	ss.record([][2]int64{{5, 8}}, 0)
+	ss.inferLosses(0)
+	for {
+		seq, ok := ss.nextRetx(0)
+		if !ok {
+			break
+		}
+		ss.markRetx(seq)
+	}
+	ss.record([][2]int64{{10, 13}}, 0) // 8, 9 now have 3 above
+	ss.inferLosses(0)
+	seq, ok := ss.nextRetx(0)
+	if !ok || seq != 8 {
+		t.Errorf("late loss nextRetx = %d,%v, want 8", seq, ok)
+	}
+}
+
+func TestSACKSingleLossNoRTO(t *testing.T) {
+	s, ep, _ := harness(t, &dropSet{drop: map[int64]bool{30: true}},
+		Config{CC: Reno{}, SACK: true})
+	ep.Start()
+	s.RunUntil(2 * time.Second)
+	if ep.Retransmissions() != 1 {
+		t.Errorf("retransmissions = %d, want 1", ep.Retransmissions())
+	}
+	if ep.RTOCount() != 0 {
+		t.Errorf("RTO fired %d times", ep.RTOCount())
+	}
+	if ep.CongestionEvents() != 1 {
+		t.Errorf("congestion events = %d, want 1", ep.CongestionEvents())
+	}
+	if ep.State().InRecovery {
+		t.Error("stuck in recovery")
+	}
+}
+
+func TestSACKBurstLossOneRTT(t *testing.T) {
+	// Ten losses scattered in one window: SACK retransmits them all in
+	// about one round trip with a single congestion event; NewReno would
+	// need a partial-ACK round trip per hole.
+	drops := map[int64]bool{}
+	for i := int64(40); i < 60; i += 2 {
+		drops[i] = true
+	}
+	sSack, epSack, _ := harness(t, &dropSet{drop: copyMap(drops)}, Config{CC: Reno{}, SACK: true})
+	epSack.Start()
+	sSack.RunUntil(3 * time.Second)
+
+	sReno, epReno, _ := harness(t, &dropSet{drop: copyMap(drops)}, Config{CC: Reno{}})
+	epReno.Start()
+	sReno.RunUntil(3 * time.Second)
+
+	if epSack.RTOCount() != 0 {
+		t.Errorf("SACK needed %d RTOs for a recoverable burst", epSack.RTOCount())
+	}
+	if epSack.CongestionEvents() != 1 {
+		t.Errorf("SACK congestion events = %d, want 1 for one loss window", epSack.CongestionEvents())
+	}
+	if epSack.Retransmissions() != 10 {
+		t.Errorf("SACK retransmissions = %d, want exactly the 10 losses", epSack.Retransmissions())
+	}
+	// SACK must deliver at least as much as NewReno over the same time.
+	if epSack.Goodput.Bytes() < epReno.Goodput.Bytes() {
+		t.Errorf("SACK goodput %d < NewReno %d", epSack.Goodput.Bytes(), epReno.Goodput.Bytes())
+	}
+	t.Logf("goodput: sack=%d newreno=%d (bytes)", epSack.Goodput.Bytes(), epReno.Goodput.Bytes())
+}
+
+func copyMap(m map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestSACKLostRetransmitFallsBackToRTO(t *testing.T) {
+	a := &stubbornDropper{seq: 30, times: 2}
+	s, ep, _ := harness(t, a, Config{CC: Reno{}, SACK: true})
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	if ep.RTOCount() == 0 {
+		t.Error("RTO never fired for a twice-lost segment")
+	}
+	if ep.Goodput.RateBps(s.Now()) == 0 {
+		t.Error("stalled")
+	}
+}
+
+func TestSACKWithAQMEndToEnd(t *testing.T) {
+	// SACK flows through a real AQM-managed bottleneck without
+	// pathologies and keeps the link busy. bare-PIE is used because the
+	// plain non-tuned PI drives p to ~0.7 during slow-start overshoot —
+	// precisely the pathology the paper attributes to it — and under a
+	// 70 % drop rate, tail-loss RTOs are correct TCP behaviour, not a
+	// SACK defect. Statistics are taken after a 5 s warm-up.
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 10e6,
+		AQM:     aqm.NewPIE(aqm.BarePIEConfig(), s.RNG()),
+	}, d.Deliver)
+	ep := New(s, l, Config{ID: 1, CC: &Cubic{}, SACK: true, BaseRTT: 50 * time.Millisecond})
+	d.Register(1, ep.DeliverData)
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	ep.Goodput.Reset(s.Now())
+	rtosBefore := ep.RTOCount()
+	s.RunUntil(25 * time.Second)
+	util := float64(ep.Goodput.Bytes()*8) / (10e6 * 20)
+	if util < 0.8 {
+		t.Errorf("goodput share %.3f, want near full", util)
+	}
+	if got := ep.RTOCount() - rtosBefore; got > 2 {
+		t.Errorf("RTOs = %d in steady state under AQM drops with SACK", got)
+	}
+}
+
+func TestDelayedAckStretch(t *testing.T) {
+	// AckEvery = 2 halves the ACK count without stalling the transfer.
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}, AckEvery: 2, FlowSegs: 101})
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	if !ep.Completed() {
+		t.Fatal("flow with delayed ACKs did not complete (delayed-ACK timer broken?)")
+	}
+}
+
+func TestDelayedAckTimerFlushesTail(t *testing.T) {
+	// A flow whose last segment leaves ackPending = 1 must still finish,
+	// via the delayed-ACK timeout.
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}, AckEvery: 4, FlowSegs: 9})
+	ep.Start()
+	s.RunUntil(5 * time.Second)
+	if !ep.Completed() {
+		t.Fatal("tail ACK never flushed")
+	}
+}
+
+func TestDelayedAckReducesAckLoad(t *testing.T) {
+	count := func(ackEvery int) int {
+		s, ep, _ := harness(t, nil, Config{CC: Reno{}, AckEvery: ackEvery, FlowSegs: 200})
+		acks := 0
+		orig := ep.cfg.BaseRTT
+		_ = orig
+		// Count ACK arrivals by wrapping goodput? Simpler: count via
+		// congestion module calls — use RTT samples as a proxy for
+		// distinct ACKs that advanced the window.
+		ep.Start()
+		s.RunUntil(5 * time.Second)
+		acks = ep.RTTSamples.N()
+		return acks
+	}
+	every1 := count(1)
+	every4 := count(4)
+	if every4 >= every1 {
+		t.Errorf("ACK-advance events: every4=%d not fewer than every1=%d", every4, every1)
+	}
+}
+
+func TestDCTCPAccurateFeedbackSurvivesStretchAcks(t *testing.T) {
+	// With AckEvery = 2 and the CE-change flush rule, DCTCP's alpha must
+	// still converge near the marking probability.
+	const p = 0.15
+	s := sim.New(9)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 1e9,
+		AQM:     &bernoulli{p: p, mark: true, rng: s.RNG()},
+	}, d.Deliver)
+	cc := &DCTCP{}
+	ep := New(s, l, Config{ID: 1, CC: cc, ECN: ECNScalable, BaseRTT: 20 * time.Millisecond, AckEvery: 2})
+	d.Register(1, ep.DeliverData)
+	ep.Start()
+	s.RunUntil(60 * time.Second)
+	if a := cc.Alpha(); a < p-0.1 || a > p+0.1 {
+		t.Errorf("alpha = %.3f with stretch ACKs, want ~%.2f", a, p)
+	}
+}
+
+func TestPacingSpreadsInitialWindow(t *testing.T) {
+	// Without pacing the IW10 burst hits the queue back to back; with
+	// pacing the segments are spread across the (base) RTT, so the
+	// instantaneous backlog stays tiny.
+	peak := func(pacing bool) int {
+		s := sim.New(1)
+		d := link.NewDispatcher()
+		l := link.New(s, link.Config{RateBps: 5e6}, d.Deliver)
+		ep := New(s, l, Config{ID: 1, CC: Reno{}, BaseRTT: 100 * time.Millisecond, Pacing: pacing})
+		d.Register(1, ep.DeliverData)
+		ep.Start()
+		maxBacklog := 0
+		probe := s.Every(100*time.Microsecond, func() {
+			if b := l.BacklogPackets(); b > maxBacklog {
+				maxBacklog = b
+			}
+		})
+		s.RunUntil(90 * time.Millisecond) // within the first RTT
+		probe.Stop()
+		return maxBacklog
+	}
+	burst := peak(false)
+	paced := peak(true)
+	t.Logf("initial-window peak backlog: unpaced=%d paced=%d", burst, paced)
+	if paced >= burst {
+		t.Errorf("pacing did not reduce the burst (%d vs %d)", paced, burst)
+	}
+	if paced > 2 {
+		t.Errorf("paced backlog %d, want <= 2", paced)
+	}
+}
+
+func TestPacingDoesNotStallTransfer(t *testing.T) {
+	s, ep, _ := harness(t, nil, Config{CC: Reno{}, Pacing: true, FlowSegs: 500})
+	ep.Start()
+	s.RunUntil(10 * time.Second)
+	if !ep.Completed() {
+		t.Fatal("paced flow did not complete")
+	}
+}
+
+func TestPacingWithSACK(t *testing.T) {
+	s, ep, _ := harness(t, &dropSet{drop: map[int64]bool{30: true}},
+		Config{CC: Reno{}, Pacing: true, SACK: true})
+	ep.Start()
+	s.RunUntil(3 * time.Second)
+	if ep.RTOCount() != 0 {
+		t.Errorf("RTOs = %d with pacing+SACK", ep.RTOCount())
+	}
+	if ep.Goodput.Bytes() == 0 {
+		t.Fatal("stalled")
+	}
+}

@@ -1,0 +1,201 @@
+package tcp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+)
+
+// bernoulli is a fixed-probability AQM: it drops (or marks) every packet
+// independently with probability p — the idealized signal source the
+// Appendix A steady-state window equations assume.
+type bernoulli struct {
+	p    float64
+	mark bool
+	rng  *rand.Rand
+}
+
+func (b *bernoulli) Name() string { return "bernoulli" }
+func (b *bernoulli) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) aqm.Verdict {
+	if b.rng.Float64() >= b.p {
+		return aqm.Accept
+	}
+	if b.mark && p.ECN.ECNCapable() {
+		return aqm.Mark
+	}
+	return aqm.Drop
+}
+func (b *bernoulli) Dequeue(*packet.Packet, aqm.QueueInfo, time.Duration) {}
+func (b *bernoulli) UpdateInterval() time.Duration                        { return 0 }
+func (b *bernoulli) Update(aqm.QueueInfo, time.Duration)                  {}
+
+// meanWindow runs one flow against a fixed signal probability on a fat link
+// (so queuing is negligible) and returns the time-average cwnd in segments
+// after a warm-up.
+func meanWindow(t *testing.T, cc CongestionControl, mode ECNMode, p float64, mark bool, dur time.Duration) float64 {
+	return meanWindowAt(t, cc, mode, p, mark, dur, 20*time.Millisecond)
+}
+
+func meanWindowAt(t *testing.T, cc CongestionControl, mode ECNMode, p float64, mark bool, dur, rtt time.Duration) float64 {
+	t.Helper()
+	s := sim.New(123)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 1e9,
+		AQM:     &bernoulli{p: p, mark: mark, rng: s.RNG()},
+	}, d.Deliver)
+	ep := New(s, l, Config{ID: 1, CC: cc, ECN: mode, BaseRTT: rtt})
+	d.Register(1, ep.DeliverData)
+	ep.Start()
+
+	warm := dur / 4
+	var sum float64
+	var n int
+	s.Every(10*time.Millisecond, func() {
+		if s.Now() > warm {
+			sum += ep.State().Cwnd
+			n++
+		}
+	})
+	s.RunUntil(dur)
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	return sum / float64(n)
+}
+
+// TestRenoSteadyStateWindow checks equation (5): W_reno ≈ 1.22/√p.
+func TestRenoSteadyStateWindow(t *testing.T) {
+	for _, p := range []float64{0.005, 0.02} {
+		got := meanWindow(t, Reno{}, ECNOff, p, false, 120*time.Second)
+		want := 1.22 / math.Sqrt(p)
+		if got < want*0.6 || got > want*1.5 {
+			t.Errorf("p=%v: mean W = %.1f, want ~%.1f (1.22/sqrt(p))", p, got, want)
+		}
+	}
+}
+
+// TestDCTCPSteadyStateWindow checks equation (11): W_dctcp = 2/p under
+// probabilistic marking — the linearity that lets PI drive DCTCP without
+// squaring (B = 1, a Scalable control).
+func TestDCTCPSteadyStateWindow(t *testing.T) {
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		got := meanWindow(t, &DCTCP{}, ECNScalable, p, true, 120*time.Second)
+		want := 2 / p
+		if got < want*0.6 || got > want*1.6 {
+			t.Errorf("p=%v: mean W = %.1f, want ~%.1f (2/p)", p, got, want)
+		}
+	}
+}
+
+// TestScalableSteadyStateWindow checks the idealized Appendix B control:
+// increase 1/RTT, decrease p·W/2 per RTT ⇒ W = √... actually the −½
+// segment per mark control balances at exactly W = 2/p like DCTCP.
+func TestScalableSteadyStateWindow(t *testing.T) {
+	for _, p := range []float64{0.05, 0.2} {
+		got := meanWindow(t, Scalable{}, ECNScalable, p, true, 120*time.Second)
+		want := 2 / p
+		if got < want*0.6 || got > want*1.6 {
+			t.Errorf("p=%v: mean W = %.1f, want ~%.1f (2/p)", p, got, want)
+		}
+	}
+}
+
+// TestScalableIsScalable verifies the defining property of Section 2: the
+// number of congestion signals per RTT (c = p·W) stays constant as the
+// window scales for a Scalable control, but shrinks for Reno.
+func TestScalableIsScalable(t *testing.T) {
+	// DCTCP/Scalable: c = p·W = p·(2/p) = 2 regardless of p.
+	for _, p := range []float64{0.05, 0.2} {
+		w := meanWindow(t, Scalable{}, ECNScalable, p, true, 60*time.Second)
+		c := p * w
+		if c < 1 || c > 4 {
+			t.Errorf("scalable signals/RTT at p=%v: %.2f, want ~2", p, c)
+		}
+	}
+	// Reno: c = p·W = 1.22·√p — shrinks with smaller p (unscalable).
+	cLow := 0.005 * meanWindow(t, Reno{}, ECNOff, 0.005, false, 120*time.Second)
+	cHigh := 0.05 * meanWindow(t, Reno{}, ECNOff, 0.05, false, 120*time.Second)
+	if cLow >= cHigh {
+		t.Errorf("reno signals/RTT did not shrink with p: c(0.005)=%.3f c(0.05)=%.3f", cLow, cHigh)
+	}
+}
+
+// TestDCTCPAlphaTracksMarkingFraction: the EWMA α must converge to the
+// applied marking probability (F ≈ p for probabilistic marking).
+func TestDCTCPAlphaTracksMarkingFraction(t *testing.T) {
+	const p = 0.15
+	s := sim.New(9)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 1e9,
+		AQM:     &bernoulli{p: p, mark: true, rng: s.RNG()},
+	}, d.Deliver)
+	cc := &DCTCP{}
+	ep := New(s, l, Config{ID: 1, CC: cc, ECN: ECNScalable, BaseRTT: 20 * time.Millisecond})
+	d.Register(1, ep.DeliverData)
+	ep.Start()
+	s.RunUntil(60 * time.Second)
+	if a := cc.Alpha(); math.Abs(a-p) > 0.08 {
+		t.Errorf("alpha = %.3f, want ~%.3f", a, p)
+	}
+}
+
+// TestCubicBeatsRenoAtScale: at large windows (low p) pure Cubic must grow
+// faster than Reno (that is its purpose); equation (6) vs (5). The
+// operating point must satisfy the switch-over condition (8),
+// W·R^{3/2} > 3.5, for the pure-cubic region to engage: at p = 1e-4 and
+// R = 100 ms, W_reno = 122 and W·R^{3/2} ≈ 3.9.
+func TestCubicBeatsRenoAtScale(t *testing.T) {
+	const (
+		p   = 0.0001
+		rtt = 100 * time.Millisecond
+	)
+	reno := meanWindowAt(t, Reno{}, ECNOff, p, false, 400*time.Second, rtt)
+	cubic := meanWindowAt(t, &Cubic{}, ECNOff, p, false, 400*time.Second, rtt)
+	if cubic <= reno*1.1 {
+		t.Errorf("cubic W=%.1f not above reno W=%.1f at p=%v, R=%v", cubic, reno, p, rtt)
+	}
+}
+
+// TestCRenoMatchesRenoAtSmallWindows: in the TCP-friendly region Cubic
+// falls back to Reno-equivalent rates (equation (7) territory).
+func TestCRenoMatchesRenoAtSmallWindows(t *testing.T) {
+	const p = 0.02 // W ~ 9: firmly in the friendly region
+	reno := meanWindow(t, Reno{}, ECNOff, p, false, 120*time.Second)
+	creno := meanWindow(t, &Cubic{}, ECNOff, p, false, 120*time.Second)
+	ratio := creno / reno
+	if ratio < 0.7 || ratio > 1.8 {
+		t.Errorf("creno/reno = %.2f, want near parity", ratio)
+	}
+}
+
+// TestCubicFriendlySwitchover: with the friendly region disabled, Cubic at
+// small windows is slower than with it enabled (the region exists to fix
+// exactly this).
+func TestCubicFriendlySwitchover(t *testing.T) {
+	const p = 0.02
+	with := meanWindow(t, &Cubic{}, ECNOff, p, false, 120*time.Second)
+	without := meanWindow(t, &Cubic{DisableFriendly: true}, ECNOff, p, false, 120*time.Second)
+	if without >= with {
+		t.Errorf("disabling the friendly region helped (with=%.1f without=%.1f)", with, without)
+	}
+}
+
+// TestECNRenoEqualsDropReno: classic ECN marks must elicit the same window
+// as drops (RFC 3168: a mark means what a drop means).
+func TestECNRenoEqualsDropReno(t *testing.T) {
+	const p = 0.02
+	drop := meanWindow(t, Reno{}, ECNOff, p, false, 120*time.Second)
+	mark := meanWindow(t, Reno{}, ECNClassic, p, true, 120*time.Second)
+	ratio := mark / drop
+	if ratio < 0.75 || ratio > 1.4 {
+		t.Errorf("ecn/drop window ratio = %.2f, want ~1", ratio)
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace records per-packet events from a simulation run for
+// offline analysis: enqueue/dequeue/drop/mark at the bottleneck and
+// deliveries to endpoints. Events stream to an io.Writer as TSV and can be
+// filtered by flow or kind; Analyze computes derived distributions such as
+// inter-drop gaps (used to validate PIE's derandomization claims) and
+// per-flow sojourn breakdowns.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"pi2/internal/link"
+	"pi2/internal/packet"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// Enqueue: the packet was accepted into the bottleneck queue.
+	Enqueue Kind = iota
+	// Dequeue: the packet left the queue toward the transmitter.
+	Dequeue
+	// DropTail: the buffer was full.
+	DropTail
+	// DropAQM: the AQM discarded the packet.
+	DropAQM
+	// MarkCE: the AQM set Congestion Experienced.
+	MarkCE
+	// Deliver: the packet finished serialization.
+	Deliver
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Enqueue:
+		return "enq"
+	case Dequeue:
+		return "deq"
+	case DropTail:
+		return "drop-tail"
+	case DropAQM:
+		return "drop-aqm"
+	case MarkCE:
+		return "mark"
+	case Deliver:
+		return "deliver"
+	}
+	return "?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	Flow int
+	Seq  int64
+	// Sojourn is filled on Dequeue/Deliver events (time spent queued).
+	Sojourn time.Duration
+}
+
+// Filter selects which events a Recorder keeps. A nil Filter keeps all.
+type Filter func(Event) bool
+
+// FlowFilter keeps only events of the given flow ids.
+func FlowFilter(ids ...int) Filter {
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(e Event) bool { return set[e.Flow] }
+}
+
+// KindFilter keeps only events of the given kinds.
+func KindFilter(kinds ...Kind) Filter {
+	var mask uint16
+	for _, k := range kinds {
+		mask |= 1 << k
+	}
+	return func(e Event) bool { return mask&(1<<e.Kind) != 0 }
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(e Event) bool {
+		for _, f := range fs {
+			if f != nil && !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Recorder accumulates (and optionally streams) events.
+type Recorder struct {
+	filter Filter
+	events []Event
+	w      *bufio.Writer
+	// Cap bounds in-memory retention (0 = unlimited). When exceeded, the
+	// oldest events are discarded (streaming output is unaffected).
+	Cap int
+}
+
+// NewRecorder creates a recorder. w may be nil for in-memory-only capture.
+func NewRecorder(w io.Writer, filter Filter) *Recorder {
+	r := &Recorder{filter: filter}
+	if w != nil {
+		r.w = bufio.NewWriter(w)
+	}
+	return r
+}
+
+// Record adds one event.
+func (r *Recorder) Record(e Event) {
+	if r.filter != nil && !r.filter(e) {
+		return
+	}
+	r.events = append(r.events, e)
+	if r.Cap > 0 && len(r.events) > r.Cap {
+		n := copy(r.events, r.events[len(r.events)-r.Cap:])
+		r.events = r.events[:n]
+	}
+	if r.w != nil {
+		fmt.Fprintf(r.w, "%.9f\t%s\t%d\t%d\t%.9f\n",
+			e.At.Seconds(), e.Kind, e.Flow, e.Seq, e.Sojourn.Seconds())
+	}
+}
+
+// Events returns the retained events (not a copy; do not mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Flush drains the stream writer.
+func (r *Recorder) Flush() error {
+	if r.w == nil {
+		return nil
+	}
+	return r.w.Flush()
+}
+
+// Attach wires the recorder to a bottleneck link. It hooks the link's
+// OnDrop callback and wraps the given delivery function; enqueue/dequeue
+// are derived from the delivery/drop stream plus the link's counters, so
+// Attach must be called before traffic starts.
+//
+// The returned deliver function must be used as the link's delivery
+// callback target by the caller's dispatcher chain.
+func (r *Recorder) Attach(l *link.Link, deliver func(*packet.Packet)) func(*packet.Packet) {
+	l.OnDrop = func(p *packet.Packet, reason link.DropReason) {
+		k := DropAQM
+		if reason == link.DropOverflow {
+			k = DropTail
+		}
+		r.Record(Event{Kind: k, Flow: p.FlowID, Seq: p.Seq})
+	}
+	return func(p *packet.Packet) {
+		e := Event{Kind: Deliver, Flow: p.FlowID, Seq: p.Seq}
+		if p.ECN == packet.CE {
+			r.Record(Event{Kind: MarkCE, Flow: p.FlowID, Seq: p.Seq})
+		}
+		r.Record(e)
+		deliver(p)
+	}
+}
+
+// Analysis summarizes a recorded event stream.
+type Analysis struct {
+	// Count per kind.
+	Counts map[Kind]int
+	// InterDropGaps lists the packet counts between consecutive
+	// AQM drops (derandomization analysis).
+	InterDropGaps []int
+	// PerFlowDelivered counts deliveries per flow.
+	PerFlowDelivered map[int]int
+}
+
+// Analyze computes summary statistics over the retained events.
+func Analyze(events []Event) Analysis {
+	a := Analysis{
+		Counts:           make(map[Kind]int),
+		PerFlowDelivered: make(map[int]int),
+	}
+	sinceDrop := 0
+	seenDrop := false
+	for _, e := range events {
+		a.Counts[e.Kind]++
+		switch e.Kind {
+		case Deliver:
+			a.PerFlowDelivered[e.Flow]++
+			sinceDrop++
+		case DropAQM:
+			if seenDrop {
+				a.InterDropGaps = append(a.InterDropGaps, sinceDrop)
+			}
+			seenDrop = true
+			sinceDrop = 0
+		}
+	}
+	return a
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/core"
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+	"pi2/internal/tcp"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Enqueue: "enq", Dequeue: "deq", DropTail: "drop-tail",
+		DropAQM: "drop-aqm", MarkCE: "mark", Deliver: "deliver", Kind(99): "?",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	e1 := Event{Kind: Deliver, Flow: 1}
+	e2 := Event{Kind: DropAQM, Flow: 2}
+	if !FlowFilter(1)(e1) || FlowFilter(1)(e2) {
+		t.Error("FlowFilter")
+	}
+	if !KindFilter(Deliver)(e1) || KindFilter(Deliver)(e2) {
+		t.Error("KindFilter")
+	}
+	both := And(FlowFilter(1), KindFilter(Deliver))
+	if !both(e1) || both(e2) {
+		t.Error("And")
+	}
+	if !And(nil, nil)(e2) {
+		t.Error("And with nils must pass")
+	}
+}
+
+func TestRecorderCapRetention(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.Cap = 3
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Seq: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[2].Seq != 9 {
+		t.Errorf("wrong tail retained: %+v", evs)
+	}
+}
+
+func TestRecorderStreamsTSV(t *testing.T) {
+	var sb strings.Builder
+	r := NewRecorder(&sb, nil)
+	r.Record(Event{At: time.Second, Kind: Deliver, Flow: 3, Seq: 7})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := sb.String()
+	for _, want := range []string{"1.000000000", "deliver", "3", "7"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stream line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestAttachEndToEnd(t *testing.T) {
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	rec := NewRecorder(nil, nil)
+	// The link needs its delivery callback at construction and the
+	// recorder needs the link: indirect through a closure variable.
+	var deliver func(*packet.Packet)
+	l := link.New(s, link.Config{
+		RateBps: 10e6,
+		AQM:     core.New(core.Config{}, s.RNG()),
+	}, func(p *packet.Packet) { deliver(p) })
+	deliver = rec.Attach(l, d.Deliver)
+
+	ep := tcp.New(s, l, tcp.Config{ID: 1, CC: tcp.Reno{}, BaseRTT: 50 * time.Millisecond})
+	d.Register(1, ep.DeliverData)
+	ep.Start()
+	s.RunUntil(20 * time.Second)
+
+	a := Analyze(rec.Events())
+	if a.Counts[Deliver] == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	if a.Counts[DropAQM] == 0 {
+		t.Error("no AQM drops recorded for a saturating Reno flow")
+	}
+	if a.PerFlowDelivered[1] != a.Counts[Deliver] {
+		t.Error("per-flow accounting mismatch")
+	}
+	if len(a.InterDropGaps) == 0 {
+		t.Error("no inter-drop gaps computed")
+	}
+}
+
+func TestAnalyzeInterDropGaps(t *testing.T) {
+	events := []Event{
+		{Kind: Deliver}, {Kind: Deliver}, {Kind: DropAQM},
+		{Kind: Deliver}, {Kind: Deliver}, {Kind: Deliver}, {Kind: DropAQM},
+		{Kind: DropAQM},
+	}
+	a := Analyze(events)
+	if len(a.InterDropGaps) != 2 || a.InterDropGaps[0] != 3 || a.InterDropGaps[1] != 0 {
+		t.Errorf("gaps = %v, want [3 0]", a.InterDropGaps)
+	}
+	if a.Counts[DropAQM] != 3 || a.Counts[Deliver] != 5 {
+		t.Errorf("counts = %v", a.Counts)
+	}
+}
+
+// TestDerandomizationTightensGaps uses the tracer to confirm RFC 8033
+// derandomization narrows the inter-drop gap distribution end to end.
+func TestDerandomizationTightensGaps(t *testing.T) {
+	run := func(derand bool) []int {
+		s := sim.New(4)
+		d := link.NewDispatcher()
+		rec := NewRecorder(nil, KindFilter(DropAQM, Deliver))
+		cfg := aqm.BarePIEConfig()
+		cfg.Derandomize = derand
+		var deliver func(*packet.Packet)
+		l := link.New(s, link.Config{
+			RateBps: 10e6,
+			AQM:     aqm.NewPIE(cfg, s.RNG()),
+		}, func(p *packet.Packet) { deliver(p) })
+		deliver = rec.Attach(l, d.Deliver)
+		for id := 1; id <= 5; id++ {
+			ep := tcp.New(s, l, tcp.Config{ID: id, CC: tcp.Reno{}, BaseRTT: 100 * time.Millisecond})
+			d.Register(id, ep.DeliverData)
+			ep.Start()
+		}
+		s.RunUntil(60 * time.Second)
+		return Analyze(rec.Events()).InterDropGaps
+	}
+	cv := func(gaps []int) float64 {
+		if len(gaps) < 2 {
+			return 0
+		}
+		var sum float64
+		for _, g := range gaps {
+			sum += float64(g)
+		}
+		mean := sum / float64(len(gaps))
+		var ss float64
+		for _, g := range gaps {
+			ss += (float64(g) - mean) * (float64(g) - mean)
+		}
+		return (ss / float64(len(gaps))) / (mean * mean) // squared CV
+	}
+	plain := cv(run(false))
+	derand := cv(run(true))
+	t.Logf("squared CV of inter-drop gaps: plain=%.2f derand=%.2f", plain, derand)
+	if derand >= plain {
+		t.Errorf("derandomization did not tighten gap variability (%.2f vs %.2f)", derand, plain)
+	}
+}

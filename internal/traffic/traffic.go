@@ -1,0 +1,280 @@
+// Package traffic provides the load generators the paper's experiments use:
+// long-running bulk TCP flows (with staged start/stop schedules for the
+// varying-intensity tests), constant-bit-rate UDP sources, and a web-like
+// short-flow workload for flow-completion-time measurements.
+package traffic
+
+import (
+	"math"
+	"time"
+
+	"pi2/internal/link"
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+	"pi2/internal/stats"
+	"pi2/internal/tcp"
+)
+
+// BulkFlowSpec describes a group of identical long-running TCP flows.
+type BulkFlowSpec struct {
+	// CC is a congestion-control name accepted by tcp.NewCC.
+	CC string
+	// Count is the number of flows in the group.
+	Count int
+	// RTT is each flow's base round-trip time.
+	RTT time.Duration
+	// StartAt/StopAt bound the group's activity (StopAt 0 = run forever).
+	StartAt, StopAt time.Duration
+	// Label tags the group in results (defaults to CC).
+	Label string
+	// SACK enables selective-acknowledgment recovery on every flow.
+	SACK bool
+	// AckEvery sets the delayed/stretch-ACK factor (0/1 = every segment).
+	AckEvery int
+}
+
+// UDPSpec describes one constant-bit-rate unresponsive source.
+type UDPSpec struct {
+	// RateBps is the send rate in bits/s.
+	RateBps float64
+	// PacketLen is the wire length per packet (default 1500 B).
+	PacketLen int
+	// StartAt/StopAt bound activity (StopAt 0 = run forever).
+	StartAt, StopAt time.Duration
+}
+
+// UDPSource emits CBR packets into the bottleneck and counts what arrives.
+type UDPSource struct {
+	Spec     UDPSpec
+	Received stats.RateMeter
+	flowID   int
+	simr     *sim.Simulator
+	link     *link.Link
+	timer    *sim.Timer
+}
+
+// StartUDP wires a UDP source into the simulation: packets enter the link
+// and delivered ones are counted via the dispatcher.
+func StartUDP(s *sim.Simulator, l *link.Link, d *link.Dispatcher, flowID int, spec UDPSpec) *UDPSource {
+	if spec.PacketLen == 0 {
+		spec.PacketLen = packet.FullLen
+	}
+	u := &UDPSource{Spec: spec, flowID: flowID, simr: s, link: l}
+	d.Register(flowID, func(p *packet.Packet) { u.Received.Add(p.WireLen) })
+	interval := time.Duration(float64(spec.PacketLen*8) / spec.RateBps * float64(time.Second))
+	s.At(spec.StartAt, func() {
+		u.Received.Reset(s.Now())
+		u.timer = s.Every(interval, u.emit)
+		u.emit()
+	})
+	if spec.StopAt > spec.StartAt {
+		s.At(spec.StopAt, func() {
+			if u.timer != nil {
+				u.timer.Stop()
+			}
+		})
+	}
+	return u
+}
+
+func (u *UDPSource) emit() {
+	p := &packet.Packet{FlowID: u.flowID, WireLen: u.Spec.PacketLen, ECN: packet.NotECT}
+	u.link.Enqueue(p)
+}
+
+// BulkGroup is a group of running bulk flows sharing a spec.
+type BulkGroup struct {
+	Spec  BulkFlowSpec
+	Flows []*tcp.Endpoint
+}
+
+// Goodput returns the group's aggregate goodput in bits/s at the given time.
+func (g *BulkGroup) Goodput(now time.Duration) float64 {
+	var sum float64
+	for _, f := range g.Flows {
+		sum += f.Goodput.RateBps(now)
+	}
+	return sum
+}
+
+// StartBulk creates, registers and schedules a group of bulk TCP flows.
+// Flow IDs are assigned sequentially from firstID; the next free ID is
+// returned.
+func StartBulk(s *sim.Simulator, l *link.Link, d *link.Dispatcher, firstID int, spec BulkFlowSpec) (*BulkGroup, int) {
+	g := &BulkGroup{Spec: spec}
+	id := firstID
+	for i := 0; i < spec.Count; i++ {
+		cc, mode, err := tcp.NewCC(spec.CC)
+		if err != nil {
+			panic(err)
+		}
+		ep := tcp.New(s, l, tcp.Config{
+			ID:       id,
+			CC:       cc,
+			ECN:      mode,
+			BaseRTT:  spec.RTT,
+			SACK:     spec.SACK,
+			AckEvery: spec.AckEvery,
+		})
+		d.Register(id, ep.DeliverData)
+		s.At(spec.StartAt, ep.Start)
+		if spec.StopAt > spec.StartAt {
+			s.At(spec.StopAt, ep.Stop)
+		}
+		g.Flows = append(g.Flows, ep)
+		id++
+	}
+	return g, id
+}
+
+// StagedCounts builds the paper's varying-intensity schedule: counts[i]
+// flows of the given CC are active during stage i, each stage lasting
+// stageLen. Flows persist across stages when the count stays ≥ their rank,
+// exactly like starting/stopping iperf instances. Used by Figures 6 and 13
+// (10:30:50:30:10 over 50 s stages).
+func StagedCounts(s *sim.Simulator, l *link.Link, d *link.Dispatcher, firstID int,
+	cc string, rtt time.Duration, counts []int, stageLen time.Duration) ([]*tcp.Endpoint, int) {
+
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	id := firstID
+	var eps []*tcp.Endpoint
+	// Flow with rank r (0-based) is active during every stage with
+	// count > r. Because the paper's schedules are unimodal, each rank is
+	// active over one contiguous interval [firstStage, lastStage].
+	for r := 0; r < maxCount; r++ {
+		first, last := -1, -1
+		for i, c := range counts {
+			if c > r {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		ccImpl, mode, err := tcp.NewCC(cc)
+		if err != nil {
+			panic(err)
+		}
+		ep := tcp.New(s, l, tcp.Config{ID: id, CC: ccImpl, ECN: mode, BaseRTT: rtt})
+		d.Register(id, ep.DeliverData)
+		s.At(time.Duration(first)*stageLen, ep.Start)
+		stop := time.Duration(last+1) * stageLen
+		if int(last) != len(counts)-1 {
+			s.At(stop, ep.Stop)
+		}
+		eps = append(eps, ep)
+		id++
+	}
+	return eps, id
+}
+
+// WebSpec describes a web-like short-flow workload: flows arrive as a
+// Poisson process with bounded-Pareto sizes (heavy-tailed, like web
+// responses).
+type WebSpec struct {
+	// ArrivalRate is flows per second.
+	ArrivalRate float64
+	// MeanSegs sets the mean flow size in segments (bounded Pareto with
+	// shape 1.2 between MinSegs and MaxSegs, scaled to this mean).
+	MinSegs, MaxSegs int64
+	// Shape is the Pareto shape parameter (default 1.2).
+	Shape float64
+	// CC and RTT apply to every generated flow.
+	CC  string
+	RTT time.Duration
+	// StopAt ends new arrivals.
+	StopAt time.Duration
+}
+
+// WebWorkload generates short flows and records their completion times.
+type WebWorkload struct {
+	Spec WebSpec
+	// FCT collects flow completion times in seconds.
+	FCT stats.Sample
+	// Started and Finished count generated/completed flows.
+	Started, Finished int
+
+	s      *sim.Simulator
+	l      *link.Link
+	d      *link.Dispatcher
+	nextID *int
+}
+
+// StartWeb launches a web-like workload. nextID is advanced for every
+// generated flow so callers can keep allocating unique IDs.
+func StartWeb(s *sim.Simulator, l *link.Link, d *link.Dispatcher, nextID *int, spec WebSpec) *WebWorkload {
+	if spec.Shape == 0 {
+		spec.Shape = 1.2
+	}
+	if spec.MinSegs == 0 {
+		spec.MinSegs = 2
+	}
+	if spec.MaxSegs == 0 {
+		spec.MaxSegs = 2000
+	}
+	w := &WebWorkload{Spec: spec, s: s, l: l, d: d, nextID: nextID}
+	rng := s.RNG()
+	var arrive func()
+	arrive = func() {
+		if spec.StopAt > 0 && s.Now() >= spec.StopAt {
+			return
+		}
+		w.launch(rng.Float64())
+		gap := time.Duration(expRand(rng.Float64(), spec.ArrivalRate) * float64(time.Second))
+		s.After(gap, arrive)
+	}
+	s.After(0, arrive)
+	return w
+}
+
+func (w *WebWorkload) launch(u float64) {
+	size := boundedPareto(u, w.Spec.Shape, float64(w.Spec.MinSegs), float64(w.Spec.MaxSegs))
+	cc, mode, err := tcp.NewCC(w.Spec.CC)
+	if err != nil {
+		panic(err)
+	}
+	id := *w.nextID
+	*w.nextID = id + 1
+	started := w.s.Now()
+	ep := tcp.New(w.s, w.l, tcp.Config{
+		ID:       id,
+		CC:       cc,
+		ECN:      mode,
+		BaseRTT:  w.Spec.RTT,
+		FlowSegs: int64(size),
+		OnComplete: func(now time.Duration) {
+			w.Finished++
+			w.FCT.Add((now - started).Seconds())
+			w.d.Unregister(id)
+		},
+	})
+	w.d.Register(id, ep.DeliverData)
+	w.Started++
+	ep.Start()
+}
+
+// expRand maps a uniform u to an exponential inter-arrival with rate λ.
+func expRand(u, lambda float64) float64 {
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -math.Log(u) / lambda
+}
+
+// boundedPareto maps a uniform u to a bounded Pareto sample in [lo, hi].
+func boundedPareto(u, shape, lo, hi float64) float64 {
+	if u >= 1 {
+		u = 1 - 1e-12
+	}
+	la := math.Pow(lo, shape)
+	ha := math.Pow(hi, shape)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/shape)
+}
