@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pi2/internal/aqm"
+	"pi2/internal/campaign"
 	"pi2/internal/core"
 	"pi2/internal/experiments"
 	"pi2/internal/fluid"
@@ -659,4 +660,60 @@ func BenchmarkDualQExtension(b *testing.B) {
 	b.ReportMetric(r.SingleLDelayMs.Mean, "single-L-ms")
 	b.ReportMetric(r.DualLDelayMs.Mean, "dual-L-ms")
 	b.ReportMetric(r.DualRatio, "dual-ratio")
+}
+
+// BenchmarkCampaignParallel measures the campaign engine's run-level
+// parallelism on a 16-cell matrix of independent simulations (the quick
+// coexistence grid's shape). Each sub-benchmark reports simulator events
+// per wall-clock second; on a multi-core machine jobs=8 should approach
+// an 8x events/sec advantage over jobs=1, with byte-identical results.
+func BenchmarkCampaignParallel(b *testing.B) {
+	matrix := func(baseSeed int64) []campaign.Task {
+		var tasks []campaign.Task
+		for _, linkMbps := range []float64{4, 10, 20, 40} {
+			for _, rtt := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
+				20 * time.Millisecond, 50 * time.Millisecond} {
+				linkMbps, rtt := linkMbps, rtt
+				tasks = append(tasks, campaign.Task{
+					Name:      "bench-cell",
+					SeedIndex: len(tasks),
+					Run: func(seed int64) any {
+						return experiments.Run(experiments.Scenario{
+							Seed:        seed,
+							LinkRateBps: linkMbps * 1e6,
+							NewAQM: func(rng *rand.Rand) aqm.AQM {
+								return core.New(core.Config{}, rng)
+							},
+							Bulk: []traffic.BulkFlowSpec{
+								{CC: "cubic", Count: 1, RTT: rtt, Label: "A"},
+								{CC: "dctcp", Count: 1, RTT: rtt, Label: "B"},
+							},
+							Duration: 10 * time.Second,
+							WarmUp:   4 * time.Second,
+						})
+					},
+				})
+			}
+		}
+		return tasks
+	}
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			var events uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				recs := campaign.Execute(matrix(int64(i+1)),
+					campaign.ExecOptions{Jobs: jobs, BaseSeed: int64(i + 1)})
+				for _, rec := range recs {
+					events += rec.Events
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(events)/elapsed, "events/s")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
 }

@@ -2,174 +2,111 @@
 //
 // Usage:
 //
-//	pi2bench [-quick] [-seed N] <experiment> [experiment...]
+//	pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...
 //
-// Experiments: fig4 fig5 fig6 fig7 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 fig18 fig19 fig20 sweep combos table1 fct dualq all.
+// Experiments are dispatched from the campaign registry; run with no
+// arguments to list them. "all" expands to every primary experiment
+// (fig15–fig18 are views of "sweep" and fig19–fig20 of "combos", so they
+// are omitted from the expansion but can be requested by name).
 //
-// fig15–fig18 share one sweep; asking for several of them (or "sweep")
-// runs the grid once and prints every requested table. Output is
-// tab-separated with '#' comment lines, one block per figure.
+// Grid experiments fan their independent runs across -jobs workers
+// (default: GOMAXPROCS). Output is bit-identical at any -jobs value:
+// each run's seed derives from the campaign seed and the run's position
+// in its matrix, never from scheduling order. -json additionally writes
+// every run's record (params, wall time, events/sec) to a file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
-	"pi2/internal/experiments"
-	"pi2/internal/fluid"
+	"pi2/internal/campaign"
+	_ "pi2/internal/experiments" // registers every experiment
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run scaled-down experiments (~5x shorter)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "campaign base seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	jsonPath := flag.String("json", "", "write per-run records (params, timing, events/sec) to this file")
+	verbose := flag.Bool("v", false, "report each run's completion on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig20\n")
-		fmt.Fprintf(os.Stderr, "             sweep combos table1 fct dualq arrangements rttfair all\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n\n")
+		fmt.Fprintf(os.Stderr, "experiments:\n")
+		for _, name := range campaign.Names() {
+			e, _ := campaign.Lookup(name)
+			all := "  "
+			if e.InAll {
+				all = "* "
+			}
+			fmt.Fprintf(os.Stderr, "  %s%-14s %s\n", all, name, e.Desc)
+		}
+		fmt.Fprintf(os.Stderr, "  * = included in \"all\"\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := experiments.Options{Quick: *quick, Seed: *seed}
 
-	want := map[string]bool{}
+	ctx := &campaign.Context{Quick: *quick, Seed: *seed, Jobs: *jobs}
+	if *jsonPath != "" {
+		ctx.Collector = &campaign.Collector{}
+	}
+	if *verbose {
+		ctx.Progress = func(done, total int, rec campaign.RunRecord) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%.1fs, %.0f events/s)\n",
+				done, total, rec.Name, rec.WallMs/1e3, rec.EventsPerSec)
+		}
+	}
+
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
 	for _, a := range flag.Args() {
 		if a == "all" {
-			for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7",
-				"fig11", "fig12", "fig13", "fig14", "sweep", "combos", "fct", "dualq", "arrangements", "rttfair"} {
-				want[e] = true
+			for _, n := range campaign.AllNames() {
+				add(n)
 			}
 			continue
 		}
-		want[a] = true
+		if _, ok := campaign.Lookup(a); !ok {
+			fmt.Fprintf(os.Stderr, "pi2bench: unknown experiment %q\n\n", a)
+			flag.Usage()
+			os.Exit(2)
+		}
+		add(a)
 	}
 
-	out := os.Stdout
-	if want["table1"] {
-		experiments.PrintTable1(out)
-		fmt.Fprintln(out)
-	}
-	if want["fig4"] {
-		printFig4(o)
-	}
-	if want["fig5"] {
-		printFig5(o)
-	}
-	if want["fig7"] {
-		printFig7(o)
-	}
-	if want["fig6"] {
-		experiments.Fig6(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["fig11"] {
-		experiments.Fig11(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["fig12"] {
-		experiments.Fig12(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["fig13"] {
-		experiments.Fig13(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["fig14"] {
-		experiments.Fig14(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["sweep"] || want["fig15"] || want["fig16"] || want["fig17"] || want["fig18"] {
-		pts := experiments.CoexistenceSweep(o)
-		if want["sweep"] || want["fig15"] {
-			experiments.PrintFig15(out, pts)
-			fmt.Fprintln(out)
-		}
-		if want["sweep"] || want["fig16"] {
-			experiments.PrintFig16(out, pts)
-			fmt.Fprintln(out)
-		}
-		if want["sweep"] || want["fig17"] {
-			experiments.PrintFig17(out, pts)
-			fmt.Fprintln(out)
-		}
-		if want["sweep"] || want["fig18"] {
-			experiments.PrintFig18(out, pts)
-			fmt.Fprintln(out)
+	for _, name := range names {
+		e, _ := campaign.Lookup(name)
+		if err := e.Run(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %s: %v\n", name, err)
+			os.Exit(1)
 		}
 	}
-	if want["combos"] || want["fig19"] || want["fig20"] {
-		pts := experiments.FlowCombos(o, nil)
-		if want["combos"] || want["fig19"] {
-			experiments.PrintFig19(out, pts)
-			fmt.Fprintln(out)
-		}
-		if want["combos"] || want["fig20"] {
-			experiments.PrintFig20(out, pts)
-			fmt.Fprintln(out)
-		}
-	}
-	if want["fct"] {
-		experiments.FigFCT(o).Print(out)
-		fmt.Fprintln(out)
-	}
-	if want["rttfair"] {
-		experiments.PrintRTTFair(out, experiments.RTTFairSweep(o))
-		fmt.Fprintln(out)
-	}
-	if want["dualq"] || want["arrangements"] {
-		dq := experiments.DualQ(o, 1, 1)
-		if want["dualq"] {
-			dq.Print(out)
-			fmt.Fprintln(out)
-		}
-		if want["arrangements"] {
-			experiments.PrintArrangements(out, dq, experiments.FQArrangement(o, 1, 1))
-			fmt.Fprintln(out)
-		}
-	}
-}
 
-func bodePoints(quick bool) int {
-	if quick {
-		return 13
-	}
-	return 49
-}
-
-func printFig4(o experiments.Options) {
-	fmt.Println("# Figure 4: Bode margins, Reno + PI on p (R0=100ms, alpha=0.125*tune, beta=1.25*tune, T=32ms)")
-	fmt.Println("p\tline\tgain_margin_db\tphase_margin_deg")
-	for _, mp := range fluid.Figure4(bodePoints(o.Quick)) {
-		for _, line := range []string{"tune=auto", "tune=1", "tune=1/2", "tune=1/8"} {
-			m := mp.ByLine[line]
-			fmt.Printf("%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ctx.Collector.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
 		}
 	}
-	fmt.Println()
-}
-
-func printFig5(o experiments.Options) {
-	fmt.Println("# Figure 5: PIE 'tune' steps vs sqrt(2p)")
-	fmt.Println("p\ttune\tsqrt_2p")
-	for _, tp := range fluid.Figure5(bodePoints(o.Quick)) {
-		fmt.Printf("%.3g\t%.6g\t%.6g\n", tp.P, tp.Tune, tp.SqrtTwoP)
-	}
-	fmt.Println()
-}
-
-func printFig7(o experiments.Options) {
-	fmt.Println("# Figure 7: Bode margins (R0=100ms, T=32ms): reno pie / reno pi2 / scal pi")
-	fmt.Println("p_prime\tline\tgain_margin_db\tphase_margin_deg")
-	for _, mp := range fluid.Figure7(bodePoints(o.Quick)) {
-		for _, line := range []string{"reno pie", "reno pi2", "scal pi"} {
-			m := mp.ByLine[line]
-			fmt.Printf("%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
-		}
-	}
-	fmt.Println()
 }

@@ -6,16 +6,23 @@
 //
 //	pi2sim -aqm pi2 -link 10M -rtt 100ms -flows 5 -cc reno -dur 100s
 //	pi2sim -aqm pi2 -link 40M -rtt 10ms -flows 1 -cc cubic -flows2 1 -cc2 dctcp
+//	pi2sim -aqm pi2 -link 40M -reps 8 -jobs 4   # 8 seeds, 4 at a time
+//
+// With -reps N > 1 the scenario is replicated under N derived seeds (run
+// across -jobs workers) and a per-replication summary plus mean ± stddev
+// aggregates are printed instead of the single-run report.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/experiments"
 	"pi2/internal/plot"
 	"pi2/internal/traffic"
@@ -41,6 +48,8 @@ func main() {
 		buffer   = flag.Int("buffer", 0, "bottleneck buffer in packets (default 40000)")
 		doPlot   = flag.Bool("plot", false, "render an ASCII chart of the queue-delay series")
 		config   = flag.String("config", "", "load the scenario from a JSON file instead of flags")
+		reps     = flag.Int("reps", 1, "replications under derived seeds (aggregate report when > 1)")
+		jobs     = flag.Int("jobs", 1, "parallel replications")
 	)
 	flag.Parse()
 
@@ -55,6 +64,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pi2sim:", err)
 			os.Exit(2)
+		}
+		if *reps > 1 {
+			replicate(sc, *reps, *jobs, "config:"+*config)
+			return
 		}
 		report(experiments.Run(sc), *series, *doPlot, "config:"+*config, sc.LinkRateBps)
 		return
@@ -93,9 +106,79 @@ func main() {
 		sc.UDP = []traffic.UDPSpec{{RateBps: *udp}}
 	}
 
-	res := experiments.Run(sc)
 	label := fmt.Sprintf("aqm=%s link=%.0f rtt=%v target=%v dur=%v", *aqmName, rate, *rtt, *target, *dur)
-	report(res, *series, *doPlot, label, rate)
+	if *reps > 1 {
+		replicate(sc, *reps, *jobs, label)
+		return
+	}
+	report(experiments.Run(sc), *series, *doPlot, label, rate)
+}
+
+// replicate runs the scenario under reps derived seeds on a jobs-wide pool
+// and prints per-replication summaries plus mean ± stddev aggregates.
+func replicate(sc experiments.Scenario, reps, jobs int, label string) {
+	base := sc.Seed
+	if base == 0 {
+		base = 1
+	}
+	tasks := make([]campaign.Task, reps)
+	for i := range tasks {
+		i := i
+		tasks[i] = campaign.Task{
+			Name:      fmt.Sprintf("rep%d", i),
+			SeedIndex: i,
+			Run: func(seed int64) any {
+				rsc := sc
+				rsc.Seed = seed
+				return experiments.Run(rsc)
+			},
+		}
+	}
+	recs := campaign.Execute(tasks, campaign.ExecOptions{Jobs: jobs, BaseSeed: base})
+
+	fmt.Printf("# %s reps=%d jobs=%d base_seed=%d\n", label, reps, jobs, base)
+	fmt.Println("rep\tseed\tqdelay_mean_ms\tqdelay_p99_ms\tutil\tgoodput_mbps")
+	var qMeans, qP99s, utils, goodputs []float64
+	for i, rec := range recs {
+		res, ok := rec.Result.(*experiments.Result)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pi2sim: rep %d failed: %s\n", i, rec.Err)
+			continue
+		}
+		var goodput float64
+		for _, g := range res.Groups {
+			goodput += g.Total()
+		}
+		qMeans = append(qMeans, res.Sojourn.Mean()*1e3)
+		qP99s = append(qP99s, res.Sojourn.Percentile(99)*1e3)
+		utils = append(utils, res.Utilization)
+		goodputs = append(goodputs, goodput/1e6)
+		fmt.Printf("%d\t%d\t%.2f\t%.2f\t%.3f\t%.3f\n",
+			i, rec.Seed, res.Sojourn.Mean()*1e3, res.Sojourn.Percentile(99)*1e3,
+			res.Utilization, goodput/1e6)
+	}
+	m1, s1 := meanStd(qMeans)
+	m2, s2 := meanStd(qP99s)
+	m3, s3 := meanStd(utils)
+	m4, s4 := meanStd(goodputs)
+	fmt.Printf("# aggregate over %d reps (mean ± stddev):\n", len(qMeans))
+	fmt.Printf("# qdelay_mean=%.2f±%.2f ms  qdelay_p99=%.2f±%.2f ms  util=%.3f±%.3f  goodput=%.3f±%.3f Mb/s\n",
+		m1, s1, m2, s2, m3, s3, m4, s4)
+}
+
+// meanStd returns the sample mean and (population) standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
 }
 
 // report prints the time series, summary block and optional chart.

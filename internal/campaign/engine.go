@@ -1,0 +1,203 @@
+// Package campaign turns the experiment layer into a declarative engine.
+// Grid drivers describe their work as a matrix of independent Tasks; a
+// bounded worker pool executes them and returns one RunRecord per task, in
+// matrix order, regardless of how many workers ran or in what order cells
+// finished. Named experiments register themselves (registry.go) so the CLIs
+// dispatch from one table instead of a hand-written if-chain.
+//
+// Each task runs its own single-threaded sim.Simulator; only *runs* are
+// concurrent, never the events inside one. Seeds derive from
+// (base seed, seed index) alone, so a campaign's output is bit-identical at
+// any worker count.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one independent run in a campaign matrix.
+type Task struct {
+	// Name identifies the experiment (and, after a slash, the cell's arm),
+	// e.g. "sweep" or "fig12/pie".
+	Name string
+	// SeedIndex feeds seed derivation: the run executes with
+	// DeriveSeed(base, SeedIndex). Matrices normally set it to the cell's
+	// position; paired arms that must see identical traffic (PIE vs PI2 on
+	// the same schedule) share one index.
+	SeedIndex int
+	// Params records the cell's coordinates for the serialized RunRecord.
+	Params map[string]any
+	// Run executes the cell with the derived seed and returns its result.
+	// A panic fails this cell only; the rest of the grid completes.
+	Run func(seed int64) any
+}
+
+// EventCounter lets Execute extract the simulated-event count from a run's
+// result without depending on the experiments package.
+type EventCounter interface{ EventCount() uint64 }
+
+// RunRecord is the structured outcome of one task: the cell's parameters,
+// its result, and the execution metadata the scaling work keys on.
+type RunRecord struct {
+	Name   string         `json:"name"`
+	Index  int            `json:"index"`
+	Seed   int64          `json:"seed"`
+	Params map[string]any `json:"params,omitempty"`
+	// Result is the task's return value (nil if the task panicked).
+	Result any `json:"result,omitempty"`
+	// Err holds the recovered panic message for a failed cell.
+	Err string `json:"error,omitempty"`
+	// WallMs is the cell's wall-clock execution time in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Events and EventsPerSec report simulator throughput when the result
+	// implements EventCounter.
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// ProgressFunc observes each completed run. done counts completions so far
+// (1-based); calls are serialized but arrive in completion order, not matrix
+// order.
+type ProgressFunc func(done, total int, rec RunRecord)
+
+// ExecOptions configure one Execute call.
+type ExecOptions struct {
+	// Jobs is the worker-pool width; <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// BaseSeed is the campaign's base seed; each task runs with
+	// DeriveSeed(BaseSeed, task.SeedIndex).
+	BaseSeed int64
+	// Progress, if set, is invoked after every completed run.
+	Progress ProgressFunc
+	// Collector, if set, additionally receives every RunRecord.
+	Collector *Collector
+}
+
+// DeriveSeed maps (base, index) to a run's seed via a SplitMix64 step, so
+// every cell of a matrix gets a distinct well-mixed stream. The mapping
+// depends only on the pair — never on worker count or completion order —
+// which keeps campaigns reproducible under any parallelism.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + uint64(int64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		// Seed 0 means "use the default" elsewhere in the repo; avoid it.
+		s = 1
+	}
+	return s
+}
+
+// Execute fans the tasks across a bounded worker pool and returns one
+// RunRecord per task, in task order. It never shares RNG state between
+// tasks: each task derives its own seed and builds its own simulator.
+func Execute(tasks []Task, opt ExecOptions) []RunRecord {
+	recs := make([]RunRecord, len(tasks))
+	if len(tasks) == 0 {
+		return recs
+	}
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rec := runTask(tasks[i], i, opt.BaseSeed)
+				recs[i] = rec
+				mu.Lock()
+				done++
+				if opt.Collector != nil {
+					opt.Collector.add(rec)
+				}
+				if opt.Progress != nil {
+					opt.Progress(done, len(tasks), rec)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return recs
+}
+
+// runTask executes one cell, capturing panics so a failing cell reports an
+// error in its record instead of killing the whole grid.
+func runTask(t Task, index int, base int64) (rec RunRecord) {
+	rec = RunRecord{
+		Name:   t.Name,
+		Index:  index,
+		Seed:   DeriveSeed(base, t.SeedIndex),
+		Params: t.Params,
+	}
+	start := time.Now()
+	defer func() {
+		wall := time.Since(start)
+		rec.WallMs = float64(wall.Nanoseconds()) / 1e6
+		if p := recover(); p != nil {
+			rec.Result = nil
+			rec.Err = fmt.Sprintf("panic: %v", p)
+			return
+		}
+		if ec, ok := rec.Result.(EventCounter); ok {
+			rec.Events = ec.EventCount()
+			if s := wall.Seconds(); s > 0 {
+				rec.EventsPerSec = float64(rec.Events) / s
+			}
+		}
+	}()
+	rec.Result = t.Run(rec.Seed)
+	return rec
+}
+
+// Collector accumulates every RunRecord produced across a CLI invocation so
+// a -json flag can dump the whole campaign at exit.
+type Collector struct {
+	mu   sync.Mutex
+	recs []RunRecord
+}
+
+func (c *Collector) add(r RunRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+// Records returns a copy of everything collected so far.
+func (c *Collector) Records() []RunRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RunRecord(nil), c.recs...)
+}
+
+// WriteJSON serializes the collected records as an indented JSON array.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Records())
+}

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"io"
+	"sync"
+)
+
+// Experiment is a named, self-printing experiment — one table or figure of
+// the paper (or an extension). Drivers register themselves at init time;
+// the CLIs dispatch by name.
+type Experiment struct {
+	// Name is the CLI-facing identifier, e.g. "fig15" or "sweep".
+	Name string
+	// Desc is a one-line description for usage listings.
+	Desc string
+	// InAll marks experiments that "all" should run. Redundant views of a
+	// shared grid (fig15–fig18 are all printed by "sweep") leave it false.
+	InAll bool
+	// Run executes the experiment and writes its tables to w.
+	Run func(ctx *Context, w io.Writer) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+	regOrder []string
+)
+
+// Register adds an experiment to the registry. It panics on duplicate or
+// unnamed registrations — both are programming errors caught at init.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("campaign: Register requires a Name and a Run func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic("campaign: duplicate experiment " + e.Name)
+	}
+	registry[e.Name] = e
+	regOrder = append(regOrder, e.Name)
+}
+
+// Lookup resolves an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns every registered name in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// AllNames returns the registration-ordered names with InAll set — the
+// expansion of the CLI's "all" argument.
+func AllNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []string
+	for _, n := range regOrder {
+		if registry[n].InAll {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Context carries one invocation's knobs to every experiment it runs, plus
+// a memo table so experiments sharing a grid (fig15–fig18 all consume the
+// coexistence sweep) compute it once per invocation.
+type Context struct {
+	// Quick scales experiment durations down (~5x), as in the drivers.
+	Quick bool
+	// Seed is the campaign base seed; per-run seeds derive from it.
+	Seed int64
+	// Jobs is the worker-pool width passed to Execute.
+	Jobs int
+	// Progress, if set, observes every completed run.
+	Progress ProgressFunc
+	// Collector, if set, accumulates every RunRecord for -json output.
+	Collector *Collector
+
+	mu   sync.Mutex
+	memo map[string]any
+}
+
+// Memo returns the cached value for key, computing and caching it on first
+// use. compute runs outside the lock; experiments within one invocation run
+// sequentially, so a key is never computed twice.
+func (c *Context) Memo(key string, compute func() any) any {
+	c.mu.Lock()
+	if v, ok := c.memo[key]; ok {
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := compute()
+	c.mu.Lock()
+	if c.memo == nil {
+		c.memo = make(map[string]any)
+	}
+	c.memo[key] = v
+	c.mu.Unlock()
+	return v
+}

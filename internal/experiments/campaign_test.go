@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pi2/internal/campaign"
+	"pi2/internal/traffic"
+)
+
+func testScenario(seed int64) Scenario {
+	return Scenario{
+		Seed:        seed,
+		LinkRateBps: 10e6,
+		NewAQM:      PI2Factory(20 * time.Millisecond),
+		Bulk: []traffic.BulkFlowSpec{
+			{CC: "cubic", Count: 1, RTT: 10 * time.Millisecond, Label: "A"},
+			{CC: "dctcp", Count: 1, RTT: 10 * time.Millisecond, Label: "B"},
+		},
+		UDP:      []traffic.UDPSpec{{RateBps: 2e6}},
+		Duration: 5 * time.Second,
+		WarmUp:   2 * time.Second,
+	}
+}
+
+// TestConcurrentRunsBitIdentical runs the same Scenario on several goroutines
+// at once: each run owns its Simulator and RNG, so concurrency must not leak
+// into the results. Any shared mutable state (a global rand, a package-level
+// counter feeding the simulation) would break this — and trip -race.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	const n = 4
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = Run(testScenario(42))
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("concurrent run %d differs from run 0", i)
+		}
+	}
+}
+
+// TestSweepIdenticalAcrossJobs: the quick coexistence grid must produce the
+// same points whether it runs serially or on a wide pool — per-cell seeds
+// depend only on the cell's index, never on scheduling.
+func TestSweepIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	serial := CoexistenceSweep(Options{Quick: true, Jobs: 1})
+	wide := CoexistenceSweep(Options{Quick: true, Jobs: 8})
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("sweep points differ between jobs=1 and jobs=8")
+	}
+}
+
+// TestGridSeedsAreIndexStable: every grid cell's derived seed is a pure
+// function of (base seed, cell index) — recorded seeds must match the
+// derivation regardless of how many workers ran the grid.
+func TestGridSeedsAreIndexStable(t *testing.T) {
+	var tasks []campaign.Task
+	for i := 0; i < 12; i++ {
+		tasks = append(tasks, campaign.Task{
+			Name:      "seedcheck",
+			SeedIndex: i,
+			Run:       func(seed int64) any { return seed },
+		})
+	}
+	for _, jobs := range []int{1, 3, 8} {
+		recs := campaign.Execute(tasks, campaign.ExecOptions{Jobs: jobs, BaseSeed: 7})
+		for i, rec := range recs {
+			want := campaign.DeriveSeed(7, i)
+			if rec.Seed != want || rec.Result.(int64) != want {
+				t.Fatalf("jobs=%d cell %d: seed %d, want %d", jobs, i, rec.Seed, want)
+			}
+		}
+	}
+}
+
+// TestUDPStatsAccounted pins satellite coverage for the per-source UDP
+// accounting: an overloaded bottleneck must report sent, delivered and lost
+// bytes that add up, with a strictly positive loss ratio.
+func TestUDPStatsAccounted(t *testing.T) {
+	sc := testScenario(1)
+	sc.UDP = []traffic.UDPSpec{{RateBps: 20e6}} // 2x the 10 Mb/s link: forced loss
+	res := Run(sc)
+	if len(res.UDP) != 1 {
+		t.Fatalf("got %d UDP results, want 1", len(res.UDP))
+	}
+	u := res.UDP[0]
+	if u.SentBytes <= 0 || u.DeliveredBytes <= 0 {
+		t.Fatalf("empty UDP accounting: %+v", u)
+	}
+	if u.LostBytes != u.SentBytes-u.DeliveredBytes {
+		t.Errorf("lost %d != sent %d - delivered %d", u.LostBytes, u.SentBytes, u.DeliveredBytes)
+	}
+	if u.LossRatio < 0.2 {
+		t.Errorf("loss ratio %.3f under 2x overload, want substantial", u.LossRatio)
+	}
+	if u.DeliveredBps <= 0 || u.DeliveredBps > sc.LinkRateBps*1.05 {
+		t.Errorf("delivered rate %.0f bps implausible for a %.0f bps link", u.DeliveredBps, sc.LinkRateBps)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/stats"
 	"pi2/internal/traffic"
 )
@@ -23,7 +24,12 @@ type ComboPoint struct {
 	NormA, NormB Quantiles
 	// Jain is Jain's fairness index over all individual flow rates.
 	Jain float64
+	// Events is the cell's simulator-event count (run-record metric).
+	Events uint64
 }
+
+// EventCount satisfies campaign.EventCounter for per-run events/sec records.
+func (p ComboPoint) EventCount() uint64 { return p.Events }
 
 // DefaultCombos is the flow-count series of Figures 19–20: all splits of
 // ten flows plus the balanced 1:1 case.
@@ -45,18 +51,35 @@ func FlowCombos(o Options, combos [][2]int) []ComboPoint {
 	if o.Quick {
 		combos = [][2]int{{1, 1}, {1, 9}, {5, 5}, {9, 1}}
 	}
-	var out []ComboPoint
+	var tasks []campaign.Task
 	for _, pair := range []string{"dctcp", "ecn-cubic"} {
 		for _, aqmName := range []string{"pie", "pi2"} {
 			for _, c := range combos {
-				out = append(out, runCombo(o, c[0], c[1], aqmName, pair))
+				pair, aqmName, na, nb := pair, aqmName, c[0], c[1]
+				tasks = append(tasks, campaign.Task{
+					Name:      "combos",
+					SeedIndex: len(tasks),
+					Params: map[string]any{
+						"pair": pair, "aqm": aqmName, "na": na, "nb": nb,
+					},
+					Run: func(seed int64) any {
+						return runCombo(o, seed, na, nb, aqmName, pair)
+					},
+				})
 			}
+		}
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	out := make([]ComboPoint, len(recs))
+	for i, rec := range recs {
+		if p, ok := rec.Result.(ComboPoint); ok {
+			out[i] = p
 		}
 	}
 	return out
 }
 
-func runCombo(o Options, na, nb int, aqmName, pair string) ComboPoint {
+func runCombo(o Options, seed int64, na, nb int, aqmName, pair string) ComboPoint {
 	target := 20 * time.Millisecond
 	factory, _ := FactoryByName(aqmName, target)
 	dur := o.scale(60 * time.Second)
@@ -65,7 +88,7 @@ func runCombo(o Options, na, nb int, aqmName, pair string) ComboPoint {
 		rtt     = 10 * time.Millisecond
 	)
 	sc := Scenario{
-		Seed:        o.seed(),
+		Seed:        seed,
 		LinkRateBps: linkBps,
 		NewAQM:      factory,
 		Duration:    dur,
@@ -79,7 +102,7 @@ func runCombo(o Options, na, nb int, aqmName, pair string) ComboPoint {
 	}
 	res := Run(sc)
 
-	pt := ComboPoint{NA: na, NB: nb, AQM: aqmName, Pair: pair}
+	pt := ComboPoint{NA: na, NB: nb, AQM: aqmName, Pair: pair, Events: res.Events}
 	fair := linkBps / float64(na+nb)
 	var aRates, bRates []float64
 	for _, g := range res.Groups {

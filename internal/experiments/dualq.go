@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/core"
 	"pi2/internal/fq"
 	"pi2/internal/link"
@@ -32,94 +33,142 @@ type DualQResult struct {
 	JainSingle, JainDual float64
 }
 
+// dualArm holds one arrangement's metrics — the shared shape of the
+// single-queue, dual-queue and FQ arms.
+type dualArm struct {
+	Ratio              float64
+	Jain               float64
+	LDelayMs, CDelayMs Quantiles
+	Util               float64
+}
+
 // DualQ runs NA Cubic + NB DCTCP flows through (a) the single-queue coupled
-// PI2 and (b) DualPI2, at 40 Mb/s and 10 ms RTT.
+// PI2 and (b) DualPI2, at 40 Mb/s and 10 ms RTT. Both arms share one seed
+// (SeedIndex 0) so they see identical traffic randomness; they run as two
+// engine tasks and so in parallel when o.Jobs > 1.
 func DualQ(o Options, na, nb int) *DualQResult {
+	tasks := []campaign.Task{
+		{
+			Name: "dualq/single", SeedIndex: 0,
+			Params: map[string]any{"na": na, "nb": nb},
+			Run:    func(seed int64) any { return dualQSingleArm(o, seed, na, nb) },
+		},
+		{
+			Name: "dualq/dual", SeedIndex: 0,
+			Params: map[string]any{"na": na, "nb": nb},
+			Run:    func(seed int64) any { return dualQDualArm(o, seed, na, nb) },
+		},
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	res := &DualQResult{}
+	if a, ok := recs[0].Result.(dualArm); ok {
+		res.SingleRatio = a.Ratio
+		res.SingleLDelayMs = a.LDelayMs
+		res.SingleCDelayMs = a.CDelayMs
+		res.SingleUtil = a.Util
+		res.JainSingle = a.Jain
+	}
+	if a, ok := recs[1].Result.(dualArm); ok {
+		res.DualRatio = a.Ratio
+		res.DualLDelayMs = a.LDelayMs
+		res.DualCDelayMs = a.CDelayMs
+		res.DualUtil = a.Util
+		res.JainDual = a.Jain
+	}
+	return res
+}
+
+// dualQSingleArm is the single shared queue: per-class delay comes from the
+// per-packet sample split by ECN — approximate with the shared-queue sample
+// for both classes (that is the point: in a single queue they are identical).
+func dualQSingleArm(o Options, seed int64, na, nb int) dualArm {
+	const (
+		rate = 40e6
+		rtt  = 10 * time.Millisecond
+	)
+	dur := o.scale(100 * time.Second)
+	sc := Scenario{
+		Seed:        seed,
+		LinkRateBps: rate,
+		NewAQM:      PI2Factory(20 * time.Millisecond),
+		Duration:    dur,
+		WarmUp:      dur * 2 / 5,
+	}
+	sc.Bulk = append(sc.Bulk, bulkPair(na, nb, rtt)...)
+	r := Run(sc)
+	q := scaleQ(quantiles(&r.Sojourn), 1e3)
+	return dualArm{
+		Ratio:    perFlowRatio(r),
+		Jain:     jainOf(r),
+		LDelayMs: q,
+		CDelayMs: q,
+		Util:     r.Utilization,
+	}
+}
+
+// dualQDualArm is the DualPI2 arrangement: custom wiring around core.DualLink.
+func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
 	const (
 		rate = 40e6
 		rtt  = 10 * time.Millisecond
 	)
 	dur := o.scale(100 * time.Second)
 	warm := dur * 2 / 5
-	res := &DualQResult{}
 
-	// (a) single queue: reuse the standard runner; per-class delay comes
-	// from the per-packet sample split by ECN — approximate with the
-	// shared-queue sample for both classes (that is the point: in a
-	// single queue they are identical).
-	{
-		sc := Scenario{
-			Seed:        o.seed(),
-			LinkRateBps: rate,
-			NewAQM:      PI2Factory(20 * time.Millisecond),
-			Duration:    dur,
-			WarmUp:      warm,
-		}
-		sc.Bulk = append(sc.Bulk, bulkPair(na, nb, rtt)...)
-		r := Run(sc)
-		res.SingleRatio = perFlowRatio(r)
-		q := quantiles(&r.Sojourn)
-		res.SingleLDelayMs = scaleQ(q, 1e3)
-		res.SingleCDelayMs = res.SingleLDelayMs
-		res.SingleUtil = r.Utilization
-		res.JainSingle = jainOf(r)
-	}
-
-	// (b) DualPI2: custom wiring around core.DualLink.
-	{
-		s := sim.New(o.seed())
-		d := link.NewDispatcher()
-		dual := core.NewDualLink(s, rate, core.DualConfig{}, d.Deliver)
-		var cubics, dctcps []*tcp.Endpoint
-		id := 1
-		mk := func(cc tcp.CongestionControl, mode tcp.ECNMode) *tcp.Endpoint {
-			ep := tcp.NewWithEnqueuer(s, dual.Enqueue, tcp.Config{
-				ID: id, CC: cc, ECN: mode, BaseRTT: rtt,
-			})
-			d.Register(id, ep.DeliverData)
-			ep.Start()
-			id++
-			return ep
-		}
-		for i := 0; i < na; i++ {
-			cubics = append(cubics, mk(&tcp.Cubic{}, tcp.ECNOff))
-		}
-		for i := 0; i < nb; i++ {
-			dctcps = append(dctcps, mk(&tcp.DCTCP{}, tcp.ECNScalable))
-		}
-		s.At(warm, func() {
-			now := s.Now()
-			for _, ep := range append(append([]*tcp.Endpoint{}, cubics...), dctcps...) {
-				ep.Goodput.Reset(now)
-			}
-			dual.LSojourn = stats.Sample{}
-			dual.CSojourn = stats.Sample{}
+	s := sim.New(seed)
+	d := link.NewDispatcher()
+	dual := core.NewDualLink(s, rate, core.DualConfig{}, d.Deliver)
+	var cubics, dctcps []*tcp.Endpoint
+	id := 1
+	mk := func(cc tcp.CongestionControl, mode tcp.ECNMode) *tcp.Endpoint {
+		ep := tcp.NewWithEnqueuer(s, dual.Enqueue, tcp.Config{
+			ID: id, CC: cc, ECN: mode, BaseRTT: rtt,
 		})
-		s.RunUntil(dur)
-		now := s.Now()
-		mean := func(eps []*tcp.Endpoint) float64 {
-			if len(eps) == 0 {
-				return 0
-			}
-			var sum float64
-			for _, ep := range eps {
-				sum += ep.Goodput.RateBps(now)
-			}
-			return sum / float64(len(eps))
-		}
-		if d := mean(dctcps); d > 0 {
-			res.DualRatio = mean(cubics) / d
-		}
-		res.DualLDelayMs = scaleQ(quantiles(&dual.LSojourn), 1e3)
-		res.DualCDelayMs = scaleQ(quantiles(&dual.CSojourn), 1e3)
-		res.DualUtil = dual.Utilization()
-		var rates []float64
-		for _, ep := range append(append([]*tcp.Endpoint{}, cubics...), dctcps...) {
-			rates = append(rates, ep.Goodput.RateBps(now))
-		}
-		res.JainDual = stats.JainIndex(rates)
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+		id++
+		return ep
 	}
-	return res
+	for i := 0; i < na; i++ {
+		cubics = append(cubics, mk(&tcp.Cubic{}, tcp.ECNOff))
+	}
+	for i := 0; i < nb; i++ {
+		dctcps = append(dctcps, mk(&tcp.DCTCP{}, tcp.ECNScalable))
+	}
+	s.At(warm, func() {
+		now := s.Now()
+		for _, ep := range append(append([]*tcp.Endpoint{}, cubics...), dctcps...) {
+			ep.Goodput.Reset(now)
+		}
+		dual.LSojourn = stats.Sample{}
+		dual.CSojourn = stats.Sample{}
+	})
+	s.RunUntil(dur)
+	now := s.Now()
+	mean := func(eps []*tcp.Endpoint) float64 {
+		if len(eps) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, ep := range eps {
+			sum += ep.Goodput.RateBps(now)
+		}
+		return sum / float64(len(eps))
+	}
+	arm := dualArm{
+		LDelayMs: scaleQ(quantiles(&dual.LSojourn), 1e3),
+		CDelayMs: scaleQ(quantiles(&dual.CSojourn), 1e3),
+		Util:     dual.Utilization(),
+	}
+	if d := mean(dctcps); d > 0 {
+		arm.Ratio = mean(cubics) / d
+	}
+	var rates []float64
+	for _, ep := range append(append([]*tcp.Endpoint{}, cubics...), dctcps...) {
+		rates = append(rates, ep.Goodput.RateBps(now))
+	}
+	arm.Jain = stats.JainIndex(rates)
+	return arm
 }
 
 func bulkPair(na, nb int, rtt time.Duration) []traffic.BulkFlowSpec {
@@ -177,8 +226,20 @@ type FQRow struct {
 // FQ-CoDel bottleneck — the per-flow-queuing alternative the paper's
 // introduction weighs against single-queue designs. Isolation gives both
 // flows their fair share with low delay, at the cost of per-flow state
-// and transport-header inspection in the network.
+// and transport-header inspection in the network. It runs as one engine
+// task with SeedIndex 0, so it sees the same traffic seed as DualQ's arms.
 func FQArrangement(o Options, na, nb int) FQRow {
+	tasks := []campaign.Task{{
+		Name: "dualq/fq-codel", SeedIndex: 0,
+		Params: map[string]any{"na": na, "nb": nb},
+		Run:    func(seed int64) any { return fqArrangementArm(o, seed, na, nb) },
+	}}
+	recs := campaign.Execute(tasks, o.exec())
+	row, _ := recs[0].Result.(FQRow)
+	return row
+}
+
+func fqArrangementArm(o Options, seed int64, na, nb int) FQRow {
 	const (
 		rate = 40e6
 		rtt  = 10 * time.Millisecond
@@ -186,7 +247,7 @@ func FQArrangement(o Options, na, nb int) FQRow {
 	dur := o.scale(100 * time.Second)
 	warm := dur * 2 / 5
 
-	s := sim.New(o.seed())
+	s := sim.New(seed)
 	d := link.NewDispatcher()
 	l := fq.New(s, fq.Config{RateBps: rate}, d.Deliver)
 	var cubics, dctcps []*tcp.Endpoint

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/traffic"
 )
 
@@ -12,8 +13,17 @@ import (
 type Options struct {
 	// Quick scales durations down (for benchmarks and CI).
 	Quick bool
-	// Seed drives all randomness (default 1).
+	// Seed is the campaign base seed (default 1); each run in a grid
+	// executes with campaign.DeriveSeed(Seed, its seed index).
 	Seed int64
+	// Jobs is the worker-pool width for grid drivers. 0 or 1 runs
+	// serially; either way the output is bit-identical, because per-run
+	// seeds depend only on the run's index in the matrix.
+	Jobs int
+	// Progress, if set, observes every completed run.
+	Progress campaign.ProgressFunc
+	// Collect, if set, receives every RunRecord (the CLIs' -json sink).
+	Collect *campaign.Collector
 }
 
 func (o Options) seed() int64 {
@@ -23,12 +33,35 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
+// exec assembles the campaign executor options for a grid driver.
+func (o Options) exec() campaign.ExecOptions {
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	return campaign.ExecOptions{
+		Jobs:      jobs,
+		BaseSeed:  o.seed(),
+		Progress:  o.Progress,
+		Collector: o.Collect,
+	}
+}
+
 // scale shortens a duration in quick mode.
 func (o Options) scale(d time.Duration) time.Duration {
 	if o.Quick {
 		return d / 5
 	}
 	return d
+}
+
+// resultOf extracts a run's *Result, mapping a failed (panicked) cell to an
+// empty Result so one bad cell cannot take down a whole table.
+func resultOf(rec campaign.RunRecord) *Result {
+	if r, ok := rec.Result.(*Result); ok && r != nil {
+		return r
+	}
+	return &Result{}
 }
 
 // Fig6Result holds the Figure 6 comparison: plain PI vs PI2 queue delay
@@ -45,7 +78,6 @@ func Fig6(o Options) *Fig6Result {
 	stageLen := o.scale(50 * time.Second)
 	counts := []int{10, 30, 50, 30, 10}
 	base := Scenario{
-		Seed:        o.seed(),
 		LinkRateBps: 100e6,
 		Staged: &StagedSpec{
 			CC:       "reno",
@@ -58,11 +90,28 @@ func Fig6(o Options) *Fig6Result {
 	}
 	target := 20 * time.Millisecond
 
-	pi := base
-	pi.NewAQM = PIFactory(target)
-	pi2 := base
-	pi2.NewAQM = PI2Factory(target)
-	return &Fig6Result{PI: Run(pi), PI2: Run(pi2), Stages: counts}
+	// Both arms share seed index 0 so they see identical traffic schedules
+	// — the comparison is paired, exactly as on a testbed.
+	recs := campaign.Execute([]campaign.Task{
+		variantTask("fig6/pi", 0, base, PIFactory(target)),
+		variantTask("fig6/pi2", 0, base, PI2Factory(target)),
+	}, o.exec())
+	return &Fig6Result{PI: resultOf(recs[0]), PI2: resultOf(recs[1]), Stages: counts}
+}
+
+// variantTask builds the common paired-arm task: the base scenario with one
+// AQM swapped in, run under the seed derived for seedIndex.
+func variantTask(name string, seedIndex int, base Scenario, factory AQMFactory) campaign.Task {
+	return campaign.Task{
+		Name:      name,
+		SeedIndex: seedIndex,
+		Run: func(seed int64) any {
+			sc := base
+			sc.Seed = seed
+			sc.NewAQM = factory
+			return Run(sc)
+		},
+	}
 }
 
 // Print writes the queue-delay time series side by side, as in the figure.
@@ -92,7 +141,6 @@ func Fig11(o Options) *Fig11Result {
 	target := 20 * time.Millisecond
 	mkBase := func(tcpFlows int, udp bool) Scenario {
 		sc := Scenario{
-			Seed:        o.seed(),
 			LinkRateBps: 10e6,
 			Bulk: []traffic.BulkFlowSpec{
 				{CC: "reno", Count: tcpFlows, RTT: 100 * time.Millisecond},
@@ -119,14 +167,20 @@ func Fig11(o Options) *Fig11Result {
 		{"50 TCP", mkBase(50, false)},
 		{"5 TCP + 2 UDP", mkBase(5, true)},
 	}
-	for _, c := range cases {
-		res.Runs[c.load] = make(map[string]*Result)
-		pie := c.sc
-		pie.NewAQM = PIEFactory(target)
-		res.Runs[c.load]["pie"] = Run(pie)
-		pi2 := c.sc
-		pi2.NewAQM = PI2Factory(target)
-		res.Runs[c.load]["pi2"] = Run(pi2)
+	// Matrix: load × variant; the two variants of one load share a seed
+	// index (paired comparison on identical traffic).
+	var tasks []campaign.Task
+	for i, c := range cases {
+		tasks = append(tasks,
+			variantTask("fig11/pie/"+c.load, i, c.sc, PIEFactory(target)),
+			variantTask("fig11/pi2/"+c.load, i, c.sc, PI2Factory(target)))
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	for i, c := range cases {
+		res.Runs[c.load] = map[string]*Result{
+			"pie": resultOf(recs[2*i]),
+			"pi2": resultOf(recs[2*i+1]),
+		}
 	}
 	return res
 }
@@ -150,8 +204,16 @@ func (r *Fig11Result) Print(w io.Writer) {
 			load,
 			pie.Sojourn.Mean()*1e3, pie.Sojourn.Percentile(99)*1e3, pie.Utilization,
 			pi2.Sojourn.Mean()*1e3, pi2.Sojourn.Percentile(99)*1e3, pi2.Utilization)
+		for i := range pi2.UDP {
+			fmt.Fprintf(w, "# %s: udp[%d] %s: pie delivered=%.2f Mb/s loss=%.1f%% | pi2 delivered=%.2f Mb/s loss=%.1f%%\n",
+				load, i, fmtMbps(pi2.UDP[i].RateBps),
+				pie.UDP[i].DeliveredBps/1e6, pie.UDP[i].LossRatio*100,
+				pi2.UDP[i].DeliveredBps/1e6, pi2.UDP[i].LossRatio*100)
+		}
 	}
 }
+
+func fmtMbps(bps float64) string { return fmt.Sprintf("%.0f Mb/s offered", bps/1e6) }
 
 // Fig12Result holds the varying-link-capacity comparison.
 type Fig12Result struct {
@@ -168,7 +230,6 @@ func Fig12(o Options) *Fig12Result {
 	stage := o.scale(50 * time.Second)
 	target := 20 * time.Millisecond
 	base := Scenario{
-		Seed:        o.seed(),
 		LinkRateBps: 100e6,
 		Bulk: []traffic.BulkFlowSpec{
 			{CC: "reno", Count: 20, RTT: 100 * time.Millisecond},
@@ -180,11 +241,11 @@ func Fig12(o Options) *Fig12Result {
 		Duration: 3 * stage,
 		WarmUp:   stage / 2,
 	}
-	pie := base
-	pie.NewAQM = PIEFactory(target)
-	pi2 := base
-	pi2.NewAQM = PI2Factory(target)
-	r := &Fig12Result{PIE: Run(pie), PI2: Run(pi2)}
+	recs := campaign.Execute([]campaign.Task{
+		variantTask("fig12/pie", 0, base, PIEFactory(target)),
+		variantTask("fig12/pi2", 0, base, PI2Factory(target)),
+	}, o.exec())
+	r := &Fig12Result{PIE: resultOf(recs[0]), PI2: resultOf(recs[1])}
 	// Peak in the window following the capacity drop.
 	r.PeakPIEms = peakBetween(r.PIE, stage, stage+stage/2) * 1e3
 	r.PeakPI2ms = peakBetween(r.PI2, stage, stage+stage/2) * 1e3
@@ -223,7 +284,6 @@ func Fig13(o Options) *Fig13Result {
 	counts := []int{10, 30, 50, 30, 10}
 	target := 20 * time.Millisecond
 	base := Scenario{
-		Seed:        o.seed(),
 		LinkRateBps: 10e6,
 		Staged: &StagedSpec{
 			CC:       "reno",
@@ -234,11 +294,11 @@ func Fig13(o Options) *Fig13Result {
 		Duration: time.Duration(len(counts)) * stageLen,
 		WarmUp:   stageLen / 2,
 	}
-	pie := base
-	pie.NewAQM = PIEFactory(target)
-	pi2 := base
-	pi2.NewAQM = PI2Factory(target)
-	return &Fig13Result{PIE: Run(pie), PI2: Run(pi2)}
+	recs := campaign.Execute([]campaign.Task{
+		variantTask("fig13/pie", 0, base, PIEFactory(target)),
+		variantTask("fig13/pi2", 0, base, PI2Factory(target)),
+	}, o.exec())
+	return &Fig13Result{PIE: resultOf(recs[0]), PI2: resultOf(recs[1])}
 }
 
 // Print writes the queue-delay series.
@@ -270,10 +330,10 @@ func Fig14(o Options) *Fig14Result {
 	dur := o.scale(100 * time.Second)
 	warm := dur / 4
 	res := &Fig14Result{}
+	var tasks []campaign.Task
 	for _, target := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond} {
 		for _, load := range []string{"20 TCP", "5 TCP + 2 UDP"} {
 			sc := Scenario{
-				Seed:        o.seed(),
 				LinkRateBps: 10e6,
 				Duration:    dur,
 				WarmUp:      warm,
@@ -284,14 +344,20 @@ func Fig14(o Options) *Fig14Result {
 				sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 5, RTT: 100 * time.Millisecond}}
 				sc.UDP = []traffic.UDPSpec{{RateBps: 6e6}, {RateBps: 6e6}}
 			}
-			pie := sc
-			pie.NewAQM = PIEFactory(target)
-			pi2 := sc
-			pi2.NewAQM = PI2Factory(target)
-			res.Cases = append(res.Cases, Fig14Case{
-				Target: target, Load: load, PIE: Run(pie), PI2: Run(pi2),
-			})
+			// The PIE and PI2 arms of one (target, load) cell pair up on
+			// the cell's seed index.
+			cell := len(res.Cases)
+			name := fmt.Sprintf("fig14/%v/%s", target, load)
+			tasks = append(tasks,
+				variantTask(name+"/pie", cell, sc, PIEFactory(target)),
+				variantTask(name+"/pi2", cell, sc, PI2Factory(target)))
+			res.Cases = append(res.Cases, Fig14Case{Target: target, Load: load})
 		}
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	for i := range res.Cases {
+		res.Cases[i].PIE = resultOf(recs[2*i])
+		res.Cases[i].PI2 = resultOf(recs[2*i+1])
 	}
 	return res
 }

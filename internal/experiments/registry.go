@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pi2/internal/campaign"
+	"pi2/internal/fluid"
+)
+
+// opts translates one campaign invocation's knobs into driver Options.
+func opts(ctx *campaign.Context) Options {
+	return Options{
+		Quick:    ctx.Quick,
+		Seed:     ctx.Seed,
+		Jobs:     ctx.Jobs,
+		Progress: ctx.Progress,
+		Collect:  ctx.Collector,
+	}
+}
+
+// memoSweep computes the coexistence grid once per invocation; fig15–fig18
+// and "sweep" all print from the same points.
+func memoSweep(ctx *campaign.Context) []SweepPoint {
+	return ctx.Memo("sweep", func() any {
+		return CoexistenceSweep(opts(ctx))
+	}).([]SweepPoint)
+}
+
+func memoCombos(ctx *campaign.Context) []ComboPoint {
+	return ctx.Memo("combos", func() any {
+		return FlowCombos(opts(ctx), nil)
+	}).([]ComboPoint)
+}
+
+func memoDualQ(ctx *campaign.Context) *DualQResult {
+	return ctx.Memo("dualq", func() any {
+		return DualQ(opts(ctx), 1, 1)
+	}).(*DualQResult)
+}
+
+// printer adapts a figure whose driver returns a self-printing result.
+func printer(run func(ctx *campaign.Context, w io.Writer)) func(*campaign.Context, io.Writer) error {
+	return func(ctx *campaign.Context, w io.Writer) error {
+		run(ctx, w)
+		fmt.Fprintln(w)
+		return nil
+	}
+}
+
+func init() {
+	campaign.Register(campaign.Experiment{
+		Name: "table1", Desc: "default AQM parameters (Table 1)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintTable1(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig4", Desc: "Bode margins, Reno + PI on p (analytic)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { printFig4(w, ctx.Quick) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig5", Desc: "PIE 'tune' steps vs sqrt(2p) (analytic)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { printFig5(w, ctx.Quick) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig6", Desc: "queue delay under varying intensity: PI vs PI2", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { Fig6(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig7", Desc: "Bode margins: reno pie / reno pi2 / scal pi (analytic)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { printFig7(w, ctx.Quick) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig11", Desc: "PIE vs PI2 queue delay under three load mixes", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { Fig11(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig12", Desc: "queue delay across link-rate changes", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { Fig12(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig13", Desc: "DCTCP on PI2 under varying intensity", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { Fig13(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig14", Desc: "delay quantiles per target, PIE vs PI2", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { Fig14(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig15", Desc: "coexistence sweep: throughput balance",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig15(w, memoSweep(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig16", Desc: "coexistence sweep: queuing delay",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig16(w, memoSweep(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig17", Desc: "coexistence sweep: mark/drop probability",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig17(w, memoSweep(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig18", Desc: "coexistence sweep: link utilisation",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig18(w, memoSweep(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "sweep", Desc: "full coexistence grid (figures 15-18)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) {
+			pts := memoSweep(ctx)
+			PrintFig15(w, pts)
+			fmt.Fprintln(w)
+			PrintFig16(w, pts)
+			fmt.Fprintln(w)
+			PrintFig17(w, pts)
+			fmt.Fprintln(w)
+			PrintFig18(w, pts)
+		}),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig19", Desc: "flow-count combos: per-flow rate ratio",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig19(w, memoCombos(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fig20", Desc: "flow-count combos: normalized rates + fairness",
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintFig20(w, memoCombos(ctx)) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "combos", Desc: "flow-count combinations (figures 19-20)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) {
+			pts := memoCombos(ctx)
+			PrintFig19(w, pts)
+			fmt.Fprintln(w)
+			PrintFig20(w, pts)
+		}),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "fct", Desc: "short-flow completion times across AQMs", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { FigFCT(opts(ctx)).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "rttfair", Desc: "RTT-heterogeneity sweep (extension)", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { PrintRTTFair(w, RTTFairSweep(opts(ctx))) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "dualq", Desc: "single coupled queue vs DualPI2", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) { memoDualQ(ctx).Print(w) }),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "arrangements", Desc: "queue arrangements: single-PI2 / DualPI2 / FQ-CoDel", InAll: true,
+		Run: printer(func(ctx *campaign.Context, w io.Writer) {
+			PrintArrangements(w, memoDualQ(ctx), FQArrangement(opts(ctx), 1, 1))
+		}),
+	})
+}
+
+// bodePoints picks the analytic figures' sample density.
+func bodePoints(quick bool) int {
+	if quick {
+		return 13
+	}
+	return 49
+}
+
+func printFig4(w io.Writer, quick bool) {
+	fmt.Fprintln(w, "# Figure 4: Bode margins, Reno + PI on p (R0=100ms, alpha=0.125*tune, beta=1.25*tune, T=32ms)")
+	fmt.Fprintln(w, "p\tline\tgain_margin_db\tphase_margin_deg")
+	for _, mp := range fluid.Figure4(bodePoints(quick)) {
+		for _, line := range []string{"tune=auto", "tune=1", "tune=1/2", "tune=1/8"} {
+			m := mp.ByLine[line]
+			fmt.Fprintf(w, "%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
+		}
+	}
+}
+
+func printFig5(w io.Writer, quick bool) {
+	fmt.Fprintln(w, "# Figure 5: PIE 'tune' steps vs sqrt(2p)")
+	fmt.Fprintln(w, "p\ttune\tsqrt_2p")
+	for _, tp := range fluid.Figure5(bodePoints(quick)) {
+		fmt.Fprintf(w, "%.3g\t%.6g\t%.6g\n", tp.P, tp.Tune, tp.SqrtTwoP)
+	}
+}
+
+func printFig7(w io.Writer, quick bool) {
+	fmt.Fprintln(w, "# Figure 7: Bode margins (R0=100ms, T=32ms): reno pie / reno pi2 / scal pi")
+	fmt.Fprintln(w, "p_prime\tline\tgain_margin_db\tphase_margin_deg")
+	for _, mp := range fluid.Figure7(bodePoints(quick)) {
+		for _, line := range []string{"reno pie", "reno pi2", "scal pi"} {
+			m := mp.ByLine[line]
+			fmt.Fprintf(w, "%.3g\t%s\t%.2f\t%.2f\n", mp.P, line, m.GainMarginDB, m.PhaseMarginDeg)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/traffic"
 )
 
@@ -14,7 +15,12 @@ type RTTFairPoint struct {
 	RTTA, RTTB time.Duration
 	Ratio      float64 // cubic / dctcp goodput
 	QMeanMs    float64
+	// Events is the cell's simulator-event count (run-record metric).
+	Events uint64
 }
+
+// EventCount satisfies campaign.EventCounter for per-run events/sec records.
+func (p RTTFairPoint) EventCount() uint64 { return p.Events }
 
 // RTTFairSweep extends Figure 15 beyond the paper's equal-RTT setting:
 // it crosses Classic and Scalable base RTTs and reports the rate balance.
@@ -26,26 +32,44 @@ func RTTFairSweep(o Options) []RTTFairPoint {
 	if o.Quick {
 		rtts = []time.Duration{5 * time.Millisecond, 80 * time.Millisecond}
 	}
-	var out []RTTFairPoint
+	var tasks []campaign.Task
 	for _, ra := range rtts {
 		for _, rb := range rtts {
-			dur := o.scale(100 * time.Second)
-			res := Run(Scenario{
-				Seed:        o.seed(),
-				LinkRateBps: 40e6,
-				NewAQM:      PI2Factory(20 * time.Millisecond),
-				Bulk: []traffic.BulkFlowSpec{
-					{CC: "cubic", Count: 1, RTT: ra, Label: "A"},
-					{CC: "dctcp", Count: 1, RTT: rb, Label: "B"},
+			ra, rb := ra, rb
+			tasks = append(tasks, campaign.Task{
+				Name:      "rttfair",
+				SeedIndex: len(tasks),
+				Params: map[string]any{
+					"rtt_a_ms": ra.Seconds() * 1e3, "rtt_b_ms": rb.Seconds() * 1e3,
 				},
-				Duration: dur,
-				WarmUp:   dur * 2 / 5,
+				Run: func(seed int64) any {
+					dur := o.scale(100 * time.Second)
+					res := Run(Scenario{
+						Seed:        seed,
+						LinkRateBps: 40e6,
+						NewAQM:      PI2Factory(20 * time.Millisecond),
+						Bulk: []traffic.BulkFlowSpec{
+							{CC: "cubic", Count: 1, RTT: ra, Label: "A"},
+							{CC: "dctcp", Count: 1, RTT: rb, Label: "B"},
+						},
+						Duration: dur,
+						WarmUp:   dur * 2 / 5,
+					})
+					return RTTFairPoint{
+						RTTA: ra, RTTB: rb,
+						Ratio:   perFlowRatio(res),
+						QMeanMs: res.Sojourn.Mean() * 1e3,
+						Events:  res.Events,
+					}
+				},
 			})
-			out = append(out, RTTFairPoint{
-				RTTA: ra, RTTB: rb,
-				Ratio:   perFlowRatio(res),
-				QMeanMs: res.Sojourn.Mean() * 1e3,
-			})
+		}
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	out := make([]RTTFairPoint, len(recs))
+	for i, rec := range recs {
+		if p, ok := rec.Result.(RTTFairPoint); ok {
+			out[i] = p
 		}
 	}
 	return out

@@ -103,6 +103,21 @@ func (g GroupResult) MeanPerFlow() float64 {
 	return g.Total() / float64(len(g.FlowRates))
 }
 
+// UDPResult reports one unresponsive source's fate over the measurement
+// window — the loss numbers Figure 12-style overload experiments need.
+type UDPResult struct {
+	// RateBps is the configured send rate in bits/s.
+	RateBps float64
+	// SentBytes and DeliveredBytes count the window's traffic; LostBytes
+	// is their difference (packets still queued at the end count as lost,
+	// which over a multi-second window is negligible).
+	SentBytes, DeliveredBytes, LostBytes int64
+	// DeliveredBps is the delivered goodput in bits/s over the window.
+	DeliveredBps float64
+	// LossRatio is LostBytes/SentBytes (0 when nothing was sent).
+	LossRatio float64
+}
+
 // Result is everything an experiment driver needs to print its figure.
 type Result struct {
 	// DelaySeries is the queue delay (seconds) sampled at SampleEvery.
@@ -129,9 +144,15 @@ type Result struct {
 	DropsAQM, DropsOverflow, Marks int
 	// WebFCT aggregates web-workload flow completion times (seconds).
 	WebFCT stats.Sample
+	// UDP reports per-source delivered/lost bytes in Scenario order.
+	UDP []UDPResult
 	// Events is the number of simulator events processed (bench metric).
 	Events uint64
 }
+
+// EventCount reports the processed-event total; it satisfies
+// campaign.EventCounter so the engine can attribute events/sec to each run.
+func (r *Result) EventCount() uint64 { return r.Events }
 
 // Run executes a scenario to completion.
 func Run(sc Scenario) *Result {
@@ -198,6 +219,9 @@ func Run(sc Scenario) *Result {
 		now := s.Now()
 		for _, f := range allFlows() {
 			f.Goodput.Reset(now)
+		}
+		for _, u := range udps {
+			u.ResetStats(now)
 		}
 	})
 
@@ -269,6 +293,21 @@ func Run(sc Scenario) *Result {
 	for _, w := range webs {
 		res.WebFCT.Merge(&w.FCT)
 	}
-	_ = udps
+	for _, u := range udps {
+		ur := UDPResult{
+			RateBps:        u.Spec.RateBps,
+			SentBytes:      u.Sent.Bytes(),
+			DeliveredBytes: u.Received.Bytes(),
+			DeliveredBps:   u.Received.RateBps(now),
+		}
+		ur.LostBytes = ur.SentBytes - ur.DeliveredBytes
+		if ur.LostBytes < 0 {
+			ur.LostBytes = 0
+		}
+		if ur.SentBytes > 0 {
+			ur.LossRatio = float64(ur.LostBytes) / float64(ur.SentBytes)
+		}
+		res.UDP = append(res.UDP, ur)
+	}
 	return res
 }

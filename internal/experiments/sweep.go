@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/traffic"
 )
 
@@ -40,7 +41,12 @@ type SweepPoint struct {
 	ProbA, ProbB Quantiles
 	// Link utilization per sampling interval.
 	Util Quantiles
+	// Events is the cell's simulator-event count (run-record metric).
+	Events uint64
 }
+
+// EventCount satisfies campaign.EventCounter for per-run events/sec records.
+func (p SweepPoint) EventCount() uint64 { return p.Events }
 
 // Quantiles summarizes a sample with the percentiles the figures plot.
 type Quantiles struct {
@@ -49,7 +55,9 @@ type Quantiles struct {
 
 // CoexistenceSweep runs the full Figures 15–18 grid: for each link × RTT,
 // each pair (Cubic vs DCTCP, Cubic vs ECN-Cubic) and each AQM (PIE, PI2).
-// One call produces the data for all four figures.
+// One call produces the data for all four figures. The grid's cells are
+// independent single-bottleneck runs, so they fan out across o.Jobs workers;
+// output order and values depend only on the matrix, never on scheduling.
 func CoexistenceSweep(o Options) []SweepPoint {
 	links := SweepLinksMbps
 	rtts := SweepRTTs
@@ -57,20 +65,38 @@ func CoexistenceSweep(o Options) []SweepPoint {
 		links = []float64{4, 40, 200}
 		rtts = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
 	}
-	var out []SweepPoint
+	var tasks []campaign.Task
 	for _, pair := range []string{"dctcp", "ecn-cubic"} {
 		for _, aqmName := range []string{"pie", "pi2"} {
 			for _, linkMbps := range links {
 				for _, rtt := range rtts {
-					out = append(out, runSweepPoint(o, linkMbps, rtt, aqmName, pair))
+					pair, aqmName, linkMbps, rtt := pair, aqmName, linkMbps, rtt
+					tasks = append(tasks, campaign.Task{
+						Name:      "sweep",
+						SeedIndex: len(tasks),
+						Params: map[string]any{
+							"pair": pair, "aqm": aqmName,
+							"link_mbps": linkMbps, "rtt_ms": rtt.Seconds() * 1e3,
+						},
+						Run: func(seed int64) any {
+							return runSweepPoint(o, seed, linkMbps, rtt, aqmName, pair)
+						},
+					})
 				}
 			}
+		}
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	out := make([]SweepPoint, len(recs))
+	for i, rec := range recs {
+		if p, ok := rec.Result.(SweepPoint); ok {
+			out[i] = p
 		}
 	}
 	return out
 }
 
-func runSweepPoint(o Options, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
+func runSweepPoint(o Options, seed int64, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
 	target := 20 * time.Millisecond
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
@@ -79,7 +105,7 @@ func runSweepPoint(o Options, linkMbps float64, rtt time.Duration, aqmName, pair
 	// Converge for longer on big-BDP cells; measure over the second part.
 	dur := o.scale(100 * time.Second)
 	sc := Scenario{
-		Seed:        o.seed(),
+		Seed:        seed,
 		LinkRateBps: linkMbps * 1e6,
 		NewAQM:      factory,
 		Bulk: []traffic.BulkFlowSpec{
@@ -92,10 +118,11 @@ func runSweepPoint(o Options, linkMbps float64, rtt time.Duration, aqmName, pair
 	res := Run(sc)
 	pt := SweepPoint{
 		LinkMbps: linkMbps, RTT: rtt, AQM: aqmName, Pair: pair,
-		RateA: res.Groups[0].MeanPerFlow(),
-		RateB: res.Groups[1].MeanPerFlow(),
-		QMean: res.Sojourn.Mean(),
-		QP99:  res.Sojourn.Percentile(99),
+		RateA:  res.Groups[0].MeanPerFlow(),
+		RateB:  res.Groups[1].MeanPerFlow(),
+		QMean:  res.Sojourn.Mean(),
+		QP99:   res.Sojourn.Percentile(99),
+		Events: res.Events,
 	}
 	if pt.RateB > 0 {
 		pt.Ratio = pt.RateA / pt.RateB

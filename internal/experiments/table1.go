@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pi2/internal/campaign"
 	"pi2/internal/traffic"
 )
 
@@ -30,32 +31,48 @@ type FCTResult struct {
 	Flows map[string]int
 }
 
+// fctAQMs is the comparison set, in print order.
+var fctAQMs = []string{"pie", "bare-pie", "pi2"}
+
 // FigFCT runs a web-like workload (Poisson arrivals, bounded-Pareto sizes)
 // over each AQM at 40 Mb/s, 20 ms RTT and reports flow-completion-time
-// quantiles.
+// quantiles. All three AQMs share SeedIndex 0: same arrival process, same
+// flow sizes — the comparison varies only the queue.
 func FigFCT(o Options) *FCTResult {
 	dur := o.scale(120 * time.Second)
-	res := &FCTResult{ByAQM: make(map[string]Quantiles), Flows: make(map[string]int)}
-	for _, name := range []string{"pie", "bare-pie", "pi2"} {
-		factory, _ := FactoryByName(name, 20*time.Millisecond)
-		sc := Scenario{
-			Seed:        o.seed(),
-			LinkRateBps: 40e6,
-			NewAQM:      factory,
-			// Long-running background load plus the short flows.
-			Bulk: []traffic.BulkFlowSpec{
-				{CC: "reno", Count: 2, RTT: 20 * time.Millisecond},
+	var tasks []campaign.Task
+	for _, name := range fctAQMs {
+		name := name
+		tasks = append(tasks, campaign.Task{
+			Name: "fct/" + name, SeedIndex: 0,
+			Params: map[string]any{"aqm": name},
+			Run: func(seed int64) any {
+				factory, _ := FactoryByName(name, 20*time.Millisecond)
+				sc := Scenario{
+					Seed:        seed,
+					LinkRateBps: 40e6,
+					NewAQM:      factory,
+					// Long-running background load plus the short flows.
+					Bulk: []traffic.BulkFlowSpec{
+						{CC: "reno", Count: 2, RTT: 20 * time.Millisecond},
+					},
+					Web: []traffic.WebSpec{{
+						ArrivalRate: 20,
+						CC:          "reno",
+						RTT:         20 * time.Millisecond,
+						StopAt:      dur - dur/10,
+					}},
+					Duration: dur,
+					WarmUp:   dur / 10,
+				}
+				return Run(sc)
 			},
-			Web: []traffic.WebSpec{{
-				ArrivalRate: 20,
-				CC:          "reno",
-				RTT:         20 * time.Millisecond,
-				StopAt:      dur - dur/10,
-			}},
-			Duration: dur,
-			WarmUp:   dur / 10,
-		}
-		r := Run(sc)
+		})
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	res := &FCTResult{ByAQM: make(map[string]Quantiles), Flows: make(map[string]int)}
+	for i, name := range fctAQMs {
+		r := resultOf(recs[i])
 		res.ByAQM[name] = quantiles(&r.WebFCT)
 		res.Flows[name] = r.WebFCT.N()
 	}

@@ -56,15 +56,29 @@ func (h *eventHeap) Pop() any {
 }
 
 // Timer is a handle to a scheduled event; it can be cancelled.
-type Timer struct{ it *item }
+type Timer struct {
+	s  *Simulator
+	it *item
+}
 
 // Stop cancels the timer. It is safe to call on an already-fired or
-// already-stopped timer, and safe to call on a nil Timer.
+// already-stopped timer, and safe to call on a nil Timer — including from
+// inside the timer's own callback (an Every ticker stopping itself).
 func (t *Timer) Stop() {
-	if t == nil || t.it == nil {
+	if t == nil || t.it == nil || t.it.dead {
 		return
 	}
 	t.it.dead = true
+	// An item still in the heap (idx >= 0) counts toward live; one that
+	// already popped for execution was decremented in Step.
+	if t.it.idx >= 0 {
+		t.s.live--
+		// Eagerly drain dead items off the heap top so peek/Step never
+		// accumulate a prefix of cancelled events.
+		for len(t.s.heap) > 0 && t.s.heap[0].dead {
+			heap.Pop(&t.s.heap)
+		}
+	}
 }
 
 // Simulator is a discrete-event scheduler with a virtual clock.
@@ -74,6 +88,9 @@ type Simulator struct {
 	heap eventHeap
 	seq  uint64
 	rng  *rand.Rand
+	// live counts scheduled events that are neither cancelled nor fired,
+	// so Pending is O(1) instead of a heap scan.
+	live int
 
 	// processed counts events executed, for diagnostics and run limits.
 	processed uint64
@@ -109,7 +126,8 @@ func (s *Simulator) At(t time.Duration, fn Event) *Timer {
 	it := &item{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.heap, it)
-	return &Timer{it: it}
+	s.live++
+	return &Timer{s: s, it: it}
 }
 
 // After schedules fn delay from now. Negative delays panic.
@@ -123,7 +141,7 @@ func (s *Simulator) Every(interval time.Duration, fn Event) *Timer {
 	if interval <= 0 {
 		panic("sim: Every interval must be positive")
 	}
-	t := &Timer{}
+	t := &Timer{s: s}
 	var tick func()
 	tick = func() {
 		fn()
@@ -140,8 +158,9 @@ func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
 		it := heap.Pop(&s.heap).(*item)
 		if it.dead {
-			continue
+			continue // already uncounted by Stop
 		}
+		s.live--
 		s.now = it.at
 		s.processed++
 		if s.MaxEvents > 0 && s.processed > s.MaxEvents {
@@ -174,16 +193,8 @@ func (s *Simulator) Run() {
 	}
 }
 
-// Pending reports the number of live events in the queue.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, it := range s.heap {
-		if !it.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live events in the queue in O(1).
+func (s *Simulator) Pending() int { return s.live }
 
 func (s *Simulator) peek() *item {
 	for len(s.heap) > 0 {

@@ -234,3 +234,122 @@ func TestCancelledEventsSkippedByPending(t *testing.T) {
 		t.Errorf("Pending = %d, want 1", got)
 	}
 }
+
+// TestPendingCounterTracksLifecycle exercises the O(1) live counter through
+// schedule / cancel / double-cancel / fire / post-fire-cancel transitions.
+func TestPendingCounterTracksLifecycle(t *testing.T) {
+	s := New(1)
+	timers := make([]*Timer, 10)
+	for i := range timers {
+		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	timers[0].Stop() // cancel the heap top: must drain eagerly
+	timers[5].Stop()
+	timers[5].Stop() // double-stop must not double-decrement
+	if got := s.Pending(); got != 8 {
+		t.Fatalf("after stops: Pending = %d, want 8", got)
+	}
+	for i := 0; i < 3; i++ { // fire three events
+		if !s.Step() {
+			t.Fatal("Step found nothing to run")
+		}
+	}
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("after 3 steps: Pending = %d, want 5", got)
+	}
+	timers[1].Stop() // already fired: must be a no-op
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("after stopping fired timer: Pending = %d, want 5", got)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("after Run: Pending = %d, want 0", got)
+	}
+}
+
+// TestEveryStopInsideOwnCallback: an Every ticker stopped from inside its
+// own callback must not reschedule, and the queue must fully drain.
+func TestEveryStopInsideOwnCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tm *Timer
+	tm = s.Every(10*time.Millisecond, func() {
+		n++
+		if n == 3 {
+			tm.Stop()
+			tm.Stop() // second stop from the same callback: still safe
+		}
+	})
+	s.RunUntil(time.Second)
+	if n != 3 {
+		t.Errorf("ticked %d times, want 3", n)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending = %d after self-stop, want 0", got)
+	}
+	tm.Stop() // stop after drain: no-op
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending = %d, want 0", got)
+	}
+}
+
+// TestEveryStopFromEventAtSameTimestamp pins the same-instant semantics both
+// ways. Events at one timestamp fire in scheduling order: a tick's next item
+// is created only when the tick fires, so a stopper scheduled earlier for
+// the same instant runs relative to the tick according to its seq.
+func TestEveryStopFromEventAtSameTimestamp(t *testing.T) {
+	// Case 1: ticker created first. At t=10ms the tick (scheduled at t=0)
+	// has the lower seq, so it fires before the stopper: one tick lands,
+	// then the stopper cancels the rescheduled tick.
+	s := New(1)
+	n := 0
+	tm := s.Every(10*time.Millisecond, func() { n++ })
+	s.At(10*time.Millisecond, func() { tm.Stop() })
+	s.RunUntil(time.Second)
+	if n != 1 {
+		t.Errorf("ticker-first: ticked %d times, want 1", n)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("ticker-first: Pending = %d, want 0", got)
+	}
+
+	// Case 2: stopper scheduled before the ticker exists. Its seq is lower
+	// than the first tick's, so at t=10ms it cancels the tick before the
+	// tick can fire: zero ticks.
+	s2 := New(1)
+	m := 0
+	var tm2 *Timer
+	s2.At(10*time.Millisecond, func() { tm2.Stop() })
+	tm2 = s2.Every(10*time.Millisecond, func() { m++ })
+	s2.RunUntil(time.Second)
+	if m != 0 {
+		t.Errorf("stopper-first: ticked %d times, want 0", m)
+	}
+	if got := s2.Pending(); got != 0 {
+		t.Errorf("stopper-first: Pending = %d, want 0", got)
+	}
+}
+
+// TestStopDrainsDeadHeapTop: cancelling the earliest events must not leave
+// dead items at the heap top (the eager-drain path).
+func TestStopDrainsDeadHeapTop(t *testing.T) {
+	s := New(1)
+	var head []*Timer
+	for i := 0; i < 5; i++ {
+		head = append(head, s.After(time.Millisecond, func() {}))
+	}
+	ran := false
+	s.After(time.Hour, func() { ran = true })
+	for _, tm := range head {
+		tm.Stop()
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	if !s.Step() || !ran {
+		t.Error("surviving event did not run first")
+	}
+}

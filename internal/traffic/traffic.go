@@ -43,9 +43,11 @@ type UDPSpec struct {
 	StartAt, StopAt time.Duration
 }
 
-// UDPSource emits CBR packets into the bottleneck and counts what arrives.
+// UDPSource emits CBR packets into the bottleneck and counts both what it
+// sent and what arrived, so overload experiments can report loss.
 type UDPSource struct {
 	Spec     UDPSpec
+	Sent     stats.RateMeter
 	Received stats.RateMeter
 	flowID   int
 	simr     *sim.Simulator
@@ -63,7 +65,7 @@ func StartUDP(s *sim.Simulator, l *link.Link, d *link.Dispatcher, flowID int, sp
 	d.Register(flowID, func(p *packet.Packet) { u.Received.Add(p.WireLen) })
 	interval := time.Duration(float64(spec.PacketLen*8) / spec.RateBps * float64(time.Second))
 	s.At(spec.StartAt, func() {
-		u.Received.Reset(s.Now())
+		u.ResetStats(s.Now())
 		u.timer = s.Every(interval, u.emit)
 		u.emit()
 	})
@@ -79,7 +81,15 @@ func StartUDP(s *sim.Simulator, l *link.Link, d *link.Dispatcher, flowID int, sp
 
 func (u *UDPSource) emit() {
 	p := &packet.Packet{FlowID: u.flowID, WireLen: u.Spec.PacketLen, ECN: packet.NotECT}
+	u.Sent.Add(p.WireLen)
 	u.link.Enqueue(p)
+}
+
+// ResetStats restarts both meters — the runner calls this at the warm-up
+// boundary so delivered/lost counts cover the measurement window only.
+func (u *UDPSource) ResetStats(now time.Duration) {
+	u.Sent.Reset(now)
+	u.Received.Reset(now)
 }
 
 // BulkGroup is a group of running bulk flows sharing a spec.
