@@ -14,6 +14,11 @@
 // each run's seed derives from the campaign seed and the run's position
 // in its matrix, never from scheduling order. -json additionally writes
 // every run's record (params, wall time, events/sec) to a file.
+//
+// -check and -update-golden run the golden-regression harness instead:
+// every named experiment (default "all" plus every registered name with a
+// baseline) is captured at golden scale and compared against — or written
+// to — the checked-in fingerprints (see internal/golden).
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"runtime"
 
 	"pi2/internal/campaign"
+	"pi2/internal/golden"
 	_ "pi2/internal/experiments" // registers every experiment
 )
 
@@ -32,8 +38,12 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	jsonPath := flag.String("json", "", "write per-run records (params, timing, events/sec) to this file")
 	verbose := flag.Bool("v", false, "report each run's completion on stderr")
+	check := flag.Bool("check", false, "compare golden-scale fingerprints against the checked-in baselines")
+	update := flag.Bool("update-golden", false, "regenerate the checked-in golden fingerprints")
+	goldenDir := flag.String("golden-dir", "", "golden directory for -check/-update-golden (default: embedded baselines for -check, "+golden.DefaultDir+" for -update-golden)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, name := range campaign.Names() {
 			e, _ := campaign.Lookup(name)
@@ -46,6 +56,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  * = included in \"all\"\n")
 	}
 	flag.Parse()
+	if *check || *update {
+		os.Exit(goldenMode(*check, *update, *jobs, *goldenDir, flag.Args()))
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -109,4 +122,65 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// goldenMode runs -check or -update-golden over the named experiments
+// (default: the "all" expansion, which already covers every simulation grid
+// — fig15–fig18 and fig19–fig20 are views of "sweep" and "combos"). It
+// returns the process exit code.
+func goldenMode(check, update bool, jobs int, dir string, args []string) int {
+	if check && update {
+		fmt.Fprintln(os.Stderr, "pi2bench: -check and -update-golden are mutually exclusive")
+		return 2
+	}
+	names := args
+	if len(names) == 0 {
+		names = campaign.AllNames()
+	}
+	for _, name := range names {
+		if _, ok := campaign.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "pi2bench: unknown experiment %q\n", name)
+			return 2
+		}
+	}
+	if update {
+		if dir == "" {
+			dir = golden.DefaultDir
+		}
+		for _, name := range names {
+			fp, err := golden.Capture(name, jobs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+				return 1
+			}
+			if err := golden.Save(dir, fp); err != nil {
+				fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("golden: wrote %s (%d runs)\n", name, len(fp.Runs))
+		}
+		return 0
+	}
+	failed := 0
+	for _, name := range names {
+		mismatches, err := golden.Check(name, jobs, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			return 1
+		}
+		if len(mismatches) == 0 {
+			fmt.Printf("golden: %-14s ok\n", name)
+			continue
+		}
+		failed++
+		fmt.Printf("golden: %-14s FAIL (%d mismatches)\n", name, len(mismatches))
+		for _, m := range mismatches {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "pi2bench: golden check failed for %d experiment(s)\n", failed)
+		return 1
+	}
+	return 0
 }

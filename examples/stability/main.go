@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -19,12 +20,18 @@ import (
 )
 
 func main() {
+	run(os.Stdout)
+}
+
+// run produces the whole report on w (separated from main so the smoke
+// test can execute the example without spawning a process).
+func run(w io.Writer) {
 	const (
 		T  = 32 * time.Millisecond
 		R0 = 100 * time.Millisecond
 	)
 
-	fmt.Println("Bode gain margins over load (R0 = 100 ms, T = 32 ms)")
+	fmt.Fprintln(w, "Bode gain margins over load (R0 = 100 ms, T = 32 ms)")
 	pts := fluid.Figure7(25)
 	chart := plot.Chart{
 		Title:  "gain margin [dB] vs p' (log x rendered linearly by index)",
@@ -40,16 +47,16 @@ func main() {
 		}
 		chart.Add(line, x, y)
 	}
-	chart.Render(os.Stdout)
+	chart.Render(w)
 
-	fmt.Println("\nGain headroom from the PIE base gains (0.125, 1.25):")
+	fmt.Fprintln(w, "\nGain headroom from the PIE base gains (0.125, 1.25):")
 	base := fluid.LoopParams{AlphaHz: 0.125, BetaHz: 1.25, T: T, R0: R0}
 	pPrimes := []float64{0.001, 0.01, 0.1, 0.5, 1}
 	m := fluid.MaxStableGainScale(base, fluid.RenoPI2, pPrimes, 0.5, 32)
-	fmt.Printf("  squared output (PI2): stable up to %.1fx  (the paper uses 2.5x)\n", m)
+	fmt.Fprintf(w, "  squared output (PI2): stable up to %.1fx  (the paper uses 2.5x)\n", m)
 	pDirect := []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1}
 	md := fluid.MaxStableGainScale(base, fluid.RenoPIE, pDirect, 0.01, 32)
-	fmt.Printf("  direct p (plain PI):  stable up to %.2fx over the full load range\n", md)
-	fmt.Println("\nThe squaring flattens the gain margin across load, which is exactly")
-	fmt.Println("what lets PI2 run 2.5x hotter than PIE without a tuning table.")
+	fmt.Fprintf(w, "  direct p (plain PI):  stable up to %.2fx over the full load range\n", md)
+	fmt.Fprintln(w, "\nThe squaring flattens the gain margin across load, which is exactly")
+	fmt.Fprintln(w, "what lets PI2 run 2.5x hotter than PIE without a tuning table.")
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pi2/internal/fluid"
+)
+
+// TestRunSmoke executes the full stability report and checks that every
+// section renders: the three Figure 7 curves and both headroom lines.
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	run(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"Bode gain margins over load",
+		"reno pie", "reno pi2", "scal pi",
+		"squared output (PI2)",
+		"direct p (plain PI)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestHeadroomAsymmetry pins the example's point numerically: from the PIE
+// base gains, the squared (PI2) loop stays stable past the paper's 2.5x
+// gain raise, while plain PI on direct p cannot even sustain the base
+// gains across the full load range.
+func TestHeadroomAsymmetry(t *testing.T) {
+	base := fluid.LoopParams{
+		AlphaHz: 0.125, BetaHz: 1.25,
+		T: 32 * time.Millisecond, R0: 100 * time.Millisecond,
+	}
+	pi2 := fluid.MaxStableGainScale(base, fluid.RenoPI2,
+		[]float64{0.001, 0.01, 0.1, 0.5, 1}, 0.5, 32)
+	if pi2 < 2.5 {
+		t.Errorf("PI2 headroom %.2fx, want >= the paper's 2.5x", pi2)
+	}
+	direct := fluid.MaxStableGainScale(base, fluid.RenoPIE,
+		[]float64{1e-5, 1e-4, 1e-3, 0.01, 0.1}, 0.01, 32)
+	if direct >= pi2 {
+		t.Errorf("direct-p headroom %.2fx not below PI2's %.2fx", direct, pi2)
+	}
+}

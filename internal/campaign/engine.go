@@ -41,6 +41,13 @@ type Task struct {
 // result without depending on the experiments package.
 type EventCounter interface{ EventCount() uint64 }
 
+// MetricsReporter lets Execute reduce a run's result to a flat map of named
+// scalar metrics — the statistical fingerprint the golden-regression harness
+// compares against tolerance bands. Result types implement it next to
+// EventCounter; Execute stores the metrics on the RunRecord so every -json
+// dump and golden capture sees the same reduction.
+type MetricsReporter interface{ Metrics() map[string]float64 }
+
 // RunRecord is the structured outcome of one task: the cell's parameters,
 // its result, and the execution metadata the scaling work keys on.
 type RunRecord struct {
@@ -58,6 +65,9 @@ type RunRecord struct {
 	// implements EventCounter.
 	Events       uint64  `json:"events,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Metrics is the run's scalar fingerprint when the result implements
+	// MetricsReporter (the golden harness keys on it).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // ProgressFunc observes each completed run. done counts completions so far
@@ -169,6 +179,9 @@ func runTask(t Task, index int, base int64) (rec RunRecord) {
 			if s := wall.Seconds(); s > 0 {
 				rec.EventsPerSec = float64(rec.Events) / s
 			}
+		}
+		if mr, ok := rec.Result.(MetricsReporter); ok {
+			rec.Metrics = mr.Metrics()
 		}
 	}()
 	rec.Result = t.Run(rec.Seed)

@@ -76,6 +76,10 @@ func AllNames() []string {
 type Context struct {
 	// Quick scales experiment durations down (~5x), as in the drivers.
 	Quick bool
+	// TimeDiv, when > 0, divides experiment durations by this factor
+	// instead of Quick's fixed 5x — the golden-regression harness runs
+	// every experiment at a deeper reduction (still deterministic).
+	TimeDiv int
 	// Seed is the campaign base seed; per-run seeds derive from it.
 	Seed int64
 	// Jobs is the worker-pool width passed to Execute.

@@ -13,6 +13,10 @@ import (
 type Options struct {
 	// Quick scales durations down (for benchmarks and CI).
 	Quick bool
+	// TimeDiv, when > 0, divides durations by this factor instead of
+	// Quick's fixed 5x. The golden harness captures fingerprints with
+	// Quick grids and a deeper TimeDiv so the whole registry stays cheap.
+	TimeDiv int
 	// Seed is the campaign base seed (default 1); each run in a grid
 	// executes with campaign.DeriveSeed(Seed, its seed index).
 	Seed int64
@@ -47,8 +51,11 @@ func (o Options) exec() campaign.ExecOptions {
 	}
 }
 
-// scale shortens a duration in quick mode.
+// scale shortens a duration in quick mode (or by an explicit TimeDiv).
 func (o Options) scale(d time.Duration) time.Duration {
+	if o.TimeDiv > 0 {
+		return d / time.Duration(o.TimeDiv)
+	}
 	if o.Quick {
 		return d / 5
 	}

@@ -258,3 +258,107 @@ func TestStepMarkingVsProbabilistic(t *testing.T) {
 		t.Errorf("mean queue %.1f ms, want near the 2 ms step", q*1e3)
 	}
 }
+
+// TestAuditedByteAndECNConservation drives traffic mixes through the link's
+// always-on invariant auditor and asserts the byte-level ledger and ECN
+// accounting that the packet-count checks above cannot see:
+//
+//   - offered bytes = dequeued + dropped + backlog bytes (exact, no slack)
+//   - delivered never exceeds dequeued
+//   - CE marks only ever land on ECT traffic, and marks + drops never
+//     exceed arrivals
+//   - a mix with no ECT traffic sees zero marks
+//
+// The auditor itself re-checks conservation after every event inside the
+// run; Err() == "" certifies the whole trajectory, not just the end state.
+func TestAuditedByteAndECNConservation(t *testing.T) {
+	cases := []struct {
+		name    string
+		aqmName string
+		ccs     []string
+		udp     bool
+		buffer  int
+	}{
+		// Coupled AQM, Classic + Scalable + unresponsive NotECT load.
+		{name: "pi2-mixed", aqmName: "pi2", ccs: []string{"cubic", "dctcp"}, udp: true, buffer: 200},
+		// Head-dropping AQM (CoDel dequeues then drops) with ECN flows.
+		{name: "codel-ecn", aqmName: "codel", ccs: []string{"ecn-cubic", "ecn-cubic"}, buffer: 200},
+		// Pure loss-based: tiny buffer forces overflow; no ECT at all.
+		{name: "taildrop-reno", aqmName: "taildrop", ccs: []string{"reno", "reno", "reno"}, buffer: 25},
+		// RED marking with Scalable traffic.
+		{name: "red-dctcp", aqmName: "red", ccs: []string{"dctcp"}, udp: true, buffer: 200},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := sim.New(11)
+			d := link.NewDispatcher()
+			factory, ok := FactoryByName(tc.aqmName, 20*time.Millisecond)
+			if !ok {
+				t.Fatalf("unknown AQM %q", tc.aqmName)
+			}
+			l := link.New(s, link.Config{
+				RateBps:       20e6,
+				BufferPackets: tc.buffer,
+				AQM:           factory(s.RNG()),
+			}, d.Deliver)
+			ect := false
+			for i, cc := range tc.ccs {
+				ccImpl, mode, err := tcp.NewCC(cc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mode != tcp.ECNOff {
+					ect = true
+				}
+				ep := tcp.New(s, l, tcp.Config{
+					ID: i + 1, CC: ccImpl, ECN: mode, BaseRTT: 10 * time.Millisecond,
+				})
+				d.Register(i+1, ep.DeliverData)
+				ep.Start()
+			}
+			if tc.udp {
+				traffic.StartUDP(s, l, d, 1000, traffic.UDPSpec{RateBps: 8e6})
+			}
+			s.RunUntil(12 * time.Second)
+
+			aud := l.Audit()
+			if msg := aud.Err(tc.name); msg != "" {
+				t.Fatalf("auditor violations:\n%s", msg)
+			}
+			// Byte ledger. offered = accepted + preDrops and
+			// accepted = dequeued + postDrops + backlog combine into one
+			// exported identity: offered = dequeued + drops + backlog.
+			wantBytes := aud.DequeuedBytes + aud.DroppedBytes + int64(l.BacklogBytes())
+			if aud.OfferedBytes != wantBytes {
+				t.Errorf("byte conservation: offered %d != dequeued+dropped+backlog %d",
+					aud.OfferedBytes, wantBytes)
+			}
+			wantPkts := aud.DequeuedPackets + aud.DroppedPackets + l.BacklogPackets()
+			if aud.OfferedPackets != wantPkts {
+				t.Errorf("packet conservation: offered %d != dequeued+dropped+backlog %d",
+					aud.OfferedPackets, wantPkts)
+			}
+			if aud.DeliveredPackets > aud.DequeuedPackets {
+				t.Errorf("delivered %d > dequeued %d", aud.DeliveredPackets, aud.DequeuedPackets)
+			}
+			// ECN accounting.
+			if aud.MarkedPackets > aud.ECTOffered {
+				t.Errorf("%d CE marks on only %d ECT arrivals", aud.MarkedPackets, aud.ECTOffered)
+			}
+			if aud.MarkedPackets+aud.DroppedPackets > aud.OfferedPackets {
+				t.Errorf("marks %d + drops %d exceed arrivals %d",
+					aud.MarkedPackets, aud.DroppedPackets, aud.OfferedPackets)
+			}
+			if aud.MarkedPackets != l.Marks() {
+				t.Errorf("auditor marks %d != link marks %d", aud.MarkedPackets, l.Marks())
+			}
+			if !ect && aud.MarkedPackets != 0 {
+				t.Errorf("%d CE marks in an all-NotECT mix", aud.MarkedPackets)
+			}
+			if !ect && aud.ECTOffered != 0 {
+				t.Errorf("%d ECT arrivals in an all-NotECT mix", aud.ECTOffered)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import "fmt"
+
+// This file reduces every experiment result type to a flat map of named
+// scalar metrics (campaign.MetricsReporter). The maps are the statistical
+// fingerprints the golden-regression harness (internal/golden) stores and
+// compares against tolerance bands; they also appear verbatim in the CLIs'
+// -json run records. Metric names are stable API: renaming one invalidates
+// every checked-in golden.
+
+// Metrics implements campaign.MetricsReporter for the generic scenario
+// result: queue-delay distribution, drop/mark totals, utilization, per-group
+// goodput shares, UDP loss and web FCT — the shapes the paper's claims are
+// made of.
+func (r *Result) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"sojourn_mean_ms": r.Sojourn.Mean() * 1e3,
+		"sojourn_p99_ms":  r.Sojourn.Percentile(99) * 1e3,
+		"utilization":     r.Utilization,
+		"drops_aqm":       float64(r.DropsAQM),
+		"drops_overflow":  float64(r.DropsOverflow),
+		"marks":           float64(r.Marks),
+		"events":          float64(r.Events),
+	}
+	var total float64
+	for _, g := range r.Groups {
+		total += g.Total()
+	}
+	for i, g := range r.Groups {
+		key := fmt.Sprintf("g%d_%s", i, g.Label)
+		m[key+"_mbps"] = g.MeanPerFlow() / 1e6
+		if total > 0 {
+			m[key+"_share"] = g.Total() / total
+		}
+		m[key+"_retx"] = float64(g.Retransmissions)
+	}
+	for i, u := range r.UDP {
+		m[fmt.Sprintf("udp%d_loss_ratio", i)] = u.LossRatio
+		m[fmt.Sprintf("udp%d_delivered_mbps", i)] = u.DeliveredBps / 1e6
+	}
+	if r.WebFCT.N() > 0 {
+		m["fct_n"] = float64(r.WebFCT.N())
+		m["fct_mean_ms"] = r.WebFCT.Mean() * 1e3
+		m["fct_p99_ms"] = r.WebFCT.Percentile(99) * 1e3
+	}
+	if r.ClassicProb.N() > 0 {
+		m["prob_classic_mean"] = r.ClassicProb.Mean()
+	}
+	if r.ScalableProb.N() > 0 {
+		m["prob_scalable_mean"] = r.ScalableProb.Mean()
+	}
+	return m
+}
+
+// Metrics implements campaign.MetricsReporter for a coexistence-sweep cell.
+func (p SweepPoint) Metrics() map[string]float64 {
+	return map[string]float64{
+		"ratio":       p.Ratio,
+		"rate_a_mbps": p.RateA / 1e6,
+		"rate_b_mbps": p.RateB / 1e6,
+		"q_mean_ms":   p.QMean * 1e3,
+		"q_p99_ms":    p.QP99 * 1e3,
+		"prob_a_mean": p.ProbA.Mean,
+		"prob_b_mean": p.ProbB.Mean,
+		"util_mean":   p.Util.Mean,
+		"events":      float64(p.Events),
+	}
+}
+
+// Metrics implements campaign.MetricsReporter for a flow-count combo cell.
+func (p ComboPoint) Metrics() map[string]float64 {
+	return map[string]float64{
+		"ratio_per_flow": p.RatioPerFlow,
+		"jain":           p.Jain,
+		"norm_a_mean":    p.NormA.Mean,
+		"norm_a_p99":     p.NormA.P99,
+		"norm_b_mean":    p.NormB.Mean,
+		"norm_b_p99":     p.NormB.P99,
+		"events":         float64(p.Events),
+	}
+}
+
+// Metrics implements campaign.MetricsReporter for an RTT-heterogeneity cell.
+func (p RTTFairPoint) Metrics() map[string]float64 {
+	return map[string]float64{
+		"ratio":     p.Ratio,
+		"q_mean_ms": p.QMeanMs,
+		"events":    float64(p.Events),
+	}
+}
+
+// Metrics implements campaign.MetricsReporter for one queue-arrangement arm
+// (single coupled queue or DualPI2).
+func (a dualArm) Metrics() map[string]float64 {
+	return map[string]float64{
+		"ratio":           a.Ratio,
+		"jain":            a.Jain,
+		"l_delay_mean_ms": a.LDelayMs.Mean,
+		"l_delay_p99_ms":  a.LDelayMs.P99,
+		"c_delay_mean_ms": a.CDelayMs.Mean,
+		"c_delay_p99_ms":  a.CDelayMs.P99,
+		"util":            a.Util,
+	}
+}
+
+// Metrics implements campaign.MetricsReporter for the FQ-CoDel arrangement.
+func (r FQRow) Metrics() map[string]float64 {
+	return map[string]float64{
+		"ratio":         r.Ratio,
+		"jain":          r.Jain,
+		"delay_mean_ms": r.DelayMs.Mean,
+		"delay_p99_ms":  r.DelayMs.P99,
+		"util":          r.Util,
+	}
+}

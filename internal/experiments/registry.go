@@ -12,6 +12,7 @@ import (
 func opts(ctx *campaign.Context) Options {
 	return Options{
 		Quick:    ctx.Quick,
+		TimeDiv:  ctx.TimeDiv,
 		Seed:     ctx.Seed,
 		Jobs:     ctx.Jobs,
 		Progress: ctx.Progress,

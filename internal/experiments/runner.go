@@ -309,5 +309,11 @@ func Run(sc Scenario) *Result {
 		}
 		res.UDP = append(res.UDP, ur)
 	}
+	if msg := l.Audit().Err("bottleneck link"); msg != "" {
+		// A violated invariant means the run's numbers cannot be trusted;
+		// panic so the campaign engine fails this cell with the full report
+		// (which invariant, where) instead of recording bogus metrics.
+		panic(msg)
+	}
 	return res
 }

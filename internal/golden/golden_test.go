@@ -1,0 +1,138 @@
+package golden
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/campaign"
+	"pi2/internal/core"
+	"pi2/internal/experiments"
+	"pi2/internal/traffic"
+)
+
+// TestRegistryAgainstGoldens is the tier-1 regression gate: every experiment
+// the CLI's "all" runs must have a checked-in fingerprint, and recapturing
+// it at golden scale must land inside every tolerance band. (fig15–fig18
+// and fig19–fig20 are printed views of "sweep" and "combos", so "all"
+// already fingerprints every simulation cell in the registry.)
+func TestRegistryAgainstGoldens(t *testing.T) {
+	for _, name := range campaign.AllNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mismatches, err := Check(name, 0, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range mismatches {
+				t.Error(m)
+			}
+		})
+	}
+}
+
+// TestCaptureDeterministicAcrossJobs pins the campaign engine's core
+// guarantee at the fingerprint level: a capture is bit-identical at any
+// worker count. Exact equality, no tolerance bands.
+func TestCaptureDeterministicAcrossJobs(t *testing.T) {
+	for _, name := range []string{"sweep", "dualq"} {
+		one, err := Capture(name, 1)
+		if err != nil {
+			t.Fatalf("%s jobs=1: %v", name, err)
+		}
+		eight, err := Capture(name, 8)
+		if err != nil {
+			t.Fatalf("%s jobs=8: %v", name, err)
+		}
+		if !reflect.DeepEqual(one, eight) {
+			for _, m := range Compare(one, eight) {
+				t.Errorf("%s: jobs=1 vs jobs=8: %s", name, m)
+			}
+			if len(Compare(one, eight)) == 0 {
+				t.Errorf("%s: fingerprints differ across job counts", name)
+			}
+		}
+	}
+}
+
+// TestCompareFlagsPerturbedMetric drives the tolerance machinery directly:
+// a baseline compared to itself is clean, and nudging one metric past its
+// band produces a mismatch naming exactly that run and metric.
+func TestCompareFlagsPerturbedMetric(t *testing.T) {
+	base, err := Baseline("fig6", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := Compare(base, base); len(ms) != 0 {
+		t.Fatalf("baseline vs itself: unexpected mismatches %v", ms)
+	}
+
+	pert := &Fingerprint{
+		Experiment:   base.Experiment,
+		TimeDiv:      base.TimeDiv,
+		Seed:         base.Seed,
+		OutputSHA256: base.OutputSHA256,
+	}
+	var run, metric string
+	for _, r := range base.Runs {
+		cp := Run{Name: r.Name, Index: r.Index, Seed: r.Seed,
+			Metrics: make(map[string]float64, len(r.Metrics))}
+		for k, v := range r.Metrics {
+			cp.Metrics[k] = v
+		}
+		if metric == "" {
+			if v, ok := cp.Metrics["sojourn_mean_ms"]; ok && v > 1 {
+				run, metric = runID(r), "sojourn_mean_ms"
+				cp.Metrics[metric] = v * 1.10
+			}
+		}
+		pert.Runs = append(pert.Runs, cp)
+	}
+	if metric == "" {
+		t.Fatal("fig6 golden has no run with sojourn_mean_ms > 1ms to perturb")
+	}
+	ms := Compare(base, pert)
+	if len(ms) != 1 || ms[0].Run != run || ms[0].Metric != metric {
+		t.Fatalf("perturbing %s of %s: got mismatches %v, want exactly that one", metric, run, ms)
+	}
+}
+
+// TestAlphaPerturbationShiftsFingerprint is the sensitivity check behind
+// the whole harness: doubling PI2's α gain on an otherwise identical run
+// (same seed, same traffic) must push metrics out of their golden bands.
+// If this fails, the bands are too loose to catch a control-law regression.
+func TestAlphaPerturbationShiftsFingerprint(t *testing.T) {
+	run := func(alpha float64) map[string]float64 {
+		res := experiments.Run(experiments.Scenario{
+			Seed:        42,
+			LinkRateBps: 40e6,
+			NewAQM: func(rng *rand.Rand) aqm.AQM {
+				return core.New(core.Config{
+					Target: 20 * time.Millisecond,
+					Alpha:  alpha,
+				}, rng)
+			},
+			Bulk: []traffic.BulkFlowSpec{
+				{CC: "cubic", Count: 2, RTT: 20 * time.Millisecond},
+				{CC: "dctcp", Count: 1, RTT: 20 * time.Millisecond},
+			},
+			Duration: 10 * time.Second,
+			WarmUp:   2 * time.Second,
+		})
+		return res.Metrics()
+	}
+	def := run(5.0 / 16)
+	pert := run(2 * 5.0 / 16)
+	var moved []string
+	for k, want := range def {
+		if got, ok := pert[k]; ok && !ToleranceFor(k).Within(want, got) {
+			moved = append(moved, k)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatalf("doubling alpha moved no metric outside its band; defaults %v vs perturbed %v", def, pert)
+	}
+	t.Logf("alpha perturbation flagged by %d metric(s): %v", len(moved), moved)
+}

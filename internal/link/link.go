@@ -65,6 +65,11 @@ type Link struct {
 	// OnDrop, if set, is invoked for every dropped packet (AQM or
 	// overflow) so transports can count losses without owning the queue.
 	OnDrop func(*packet.Packet, DropReason)
+
+	// aud is the always-on invariant auditor (see audit.go). Unlike the
+	// statistics above it is never reset: its conservation identities
+	// cover the link's whole lifetime.
+	aud Auditor
 }
 
 // New creates a link attached to the simulator and wires the AQM's periodic
@@ -117,31 +122,40 @@ func (l *Link) CapacityBps() float64 { return l.rate }
 func (l *Link) Enqueue(p *packet.Packet) {
 	now := l.sim.Now()
 	l.enqueues++
+	l.aud.offered(p, now)
 	if len(l.queue)-l.head >= l.cfg.BufferPackets {
-		l.drop(p, DropOverflow)
+		l.drop(p, DropOverflow, false)
 		return
 	}
 	switch l.aqm.Enqueue(p, l, now) {
 	case aqm.Drop:
-		l.drop(p, DropAQM)
+		l.drop(p, DropAQM, false)
 		return
 	case aqm.Mark:
+		l.aud.marked(p, now)
 		p.ECN = packet.CE
 		l.marks++
 	}
 	p.EnqueuedAt = now
 	l.queue = append(l.queue, p)
 	l.bytes += p.WireLen
+	l.aud.accepted(p, now)
+	l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
 	if !l.busy {
 		l.startTx()
 	}
 }
 
-func (l *Link) drop(p *packet.Packet, r DropReason) {
+// drop records a dropped packet; fromQueue marks a head drop of an
+// already-accepted packet (the auditor's conservation split needs it).
+func (l *Link) drop(p *packet.Packet, r DropReason, fromQueue bool) {
+	now := l.sim.Now()
+	l.aud.droppedPkt(p, now, fromQueue)
 	l.drops[r]++
 	if l.OnDrop != nil {
 		l.OnDrop(p, r)
 	}
+	l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
 }
 
 // startTx pops the head of the queue and begins serializing it. Dequeue-time
@@ -167,18 +181,21 @@ func (l *Link) startTx() {
 				// Head drop: the packet neither departs nor counts
 				// as a dequeue, so enqueues = dequeues + drops +
 				// backlog stays exact.
-				l.drop(p, DropAQM)
+				l.drop(p, DropAQM, true)
 				if len(l.queue)-l.head == 0 {
 					return // dropped the whole backlog; link stays idle
 				}
 				continue
 			}
 			if v == aqm.Mark {
+				l.aud.marked(p, now)
 				p.ECN = packet.CE
 				l.marks++
 			}
 		}
 		l.dequeues++
+		l.aud.dequeued(p, now)
+		l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
 		l.aqm.Dequeue(p, l, now)
 		break
 	}
@@ -190,6 +207,7 @@ func (l *Link) startTx() {
 	l.sim.After(txTime, func() {
 		l.busyTotal += l.sim.Now() - l.busySince
 		l.Delivered.Add(p.WireLen)
+		l.aud.delivered(p, l.sim.Now())
 		l.deliver(p)
 		l.busy = false
 		if len(l.queue)-l.head > 0 {

@@ -161,6 +161,13 @@ func (s *Simulator) Step() bool {
 			continue // already uncounted by Stop
 		}
 		s.live--
+		// Monotone-clock invariant: the heap must never yield an event
+		// before the current time. At() rejects past scheduling, so a
+		// violation here means the event queue itself is corrupted; the
+		// auditor-backed harness relies on this holding unconditionally.
+		if it.at < s.now {
+			panic(fmt.Sprintf("sim: clock went backwards: next event at %v, now %v", it.at, s.now))
+		}
 		s.now = it.at
 		s.processed++
 		if s.MaxEvents > 0 && s.processed > s.MaxEvents {

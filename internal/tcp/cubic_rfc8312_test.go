@@ -1,0 +1,165 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// These tests validate the Cubic implementation against RFC 8312's closed
+// forms by ACK-clocking the control directly: one OnAck batch of cwnd
+// segments per simulated RTT, exactly the cadence a loss-free path yields.
+
+// cubicRound delivers one RTT's worth of ACKs at virtual time now.
+func cubicRound(c *Cubic, s *State, now time.Duration) {
+	c.OnAck(s, int(s.Cwnd), false, now)
+}
+
+// TestCubicKMatchesRFC8312 pins K = cbrt(Wmax*(1-beta)/C) (RFC 8312 §4.1):
+// after a congestion event at window W, the epoch's K must equal the
+// closed-form time to regrow to Wmax.
+func TestCubicKMatchesRFC8312(t *testing.T) {
+	for _, tc := range []struct {
+		w0      float64
+		c, beta float64
+	}{
+		{w0: 20, c: 0.4, beta: 0.7},
+		{w0: 50, c: 0.4, beta: 0.7},
+		{w0: 100, c: 0.4, beta: 0.7},
+		{w0: 250, c: 0.4, beta: 0.7},
+		{w0: 1000, c: 0.4, beta: 0.7},
+		{w0: 100, c: 0.2, beta: 0.5},
+		{w0: 100, c: 0.8, beta: 0.8},
+	} {
+		cc := &Cubic{C: tc.c, Beta: tc.beta}
+		s := &State{Cwnd: tc.w0, Ssthresh: 1, MinCwnd: 2, SRTT: 100 * time.Millisecond}
+		cc.Init(s)
+		cc.OnCongestionEvent(s, 0)
+
+		if want := tc.beta * tc.w0; math.Abs(s.Cwnd-want) > 1e-9 {
+			t.Errorf("W0=%v C=%v beta=%v: cwnd after event = %v, want beta*W0 = %v",
+				tc.w0, tc.c, tc.beta, s.Cwnd, want)
+		}
+		if math.Abs(cc.wMax-tc.w0) > 1e-9 {
+			t.Errorf("W0=%v: wMax = %v, want %v", tc.w0, cc.wMax, tc.w0)
+		}
+		wantK := math.Cbrt(tc.w0 * (1 - tc.beta) / tc.c)
+		if math.Abs(cc.k-wantK) > 1e-9 {
+			t.Errorf("W0=%v C=%v beta=%v: K = %v, want cbrt(Wmax*(1-beta)/C) = %v",
+				tc.w0, tc.c, tc.beta, cc.k, wantK)
+		}
+	}
+}
+
+// TestCubicFastConvergenceClosedForm pins RFC 8312 §4.6 exactly (the
+// existing TestCubicFastConvergence checks the direction only): a second
+// reduction from a window still below the previous maximum must set
+// Wmax = W*(1+beta)/2.
+func TestCubicFastConvergenceClosedForm(t *testing.T) {
+	cc := &Cubic{}
+	s := &State{Cwnd: 100, Ssthresh: 1, MinCwnd: 2, SRTT: 100 * time.Millisecond}
+	cc.Init(s)
+	cc.OnCongestionEvent(s, 0) // cwnd 100 -> 70, wLastMax 100
+	cc.OnCongestionEvent(s, time.Second)
+
+	// Second event fired at cwnd 70 < wLastMax 100.
+	if want := 70 * (1 + 0.7) / 2; math.Abs(cc.wMax-want) > 1e-9 {
+		t.Errorf("fast convergence: wMax = %v, want W*(1+beta)/2 = %v", cc.wMax, want)
+	}
+	if want := 0.7 * 70.0; math.Abs(s.Cwnd-want) > 1e-9 {
+		t.Errorf("fast convergence: cwnd = %v, want %v", s.Cwnd, want)
+	}
+}
+
+// TestCubicWindowTracksClosedForm ACK-clocks the pure cubic region
+// (friendly region off) through the concave phase, the plateau at Wmax and
+// the convex phase, comparing cwnd each round against
+// W(t) = C*(t-K)^3 + Wmax (RFC 8312 §4.1). The implementation targets the
+// closed form one RTT ahead and converges on it geometrically, so after a
+// few warm-up rounds the trajectory must sit within a few percent.
+func TestCubicWindowTracksClosedForm(t *testing.T) {
+	const (
+		w0   = 100.0
+		rtt  = 100 * time.Millisecond
+		beta = 0.7
+		C    = 0.4
+	)
+	cc := &Cubic{DisableFriendly: true}
+	s := &State{Cwnd: w0, Ssthresh: 1, MinCwnd: 2, SRTT: rtt}
+	cc.Init(s)
+	cc.OnCongestionEvent(s, 0)
+	k := math.Cbrt(w0 * (1 - beta) / C)
+
+	for round := 0; round < 100; round++ {
+		now := time.Duration(round) * rtt
+		cubicRound(cc, s, now)
+		if round < 3 {
+			continue // convergence warm-up
+		}
+		// After the round at t, cwnd tracks the target W(t+RTT).
+		tt := (now + rtt).Seconds()
+		want := C*math.Pow(tt-k, 3) + w0
+		if tol := 0.05*want + 1; math.Abs(s.Cwnd-want) > tol {
+			t.Fatalf("round %d (t=%.1fs): cwnd = %.2f, want W(t)=C(t-K)^3+Wmax = %.2f ± %.2f",
+				round, tt, s.Cwnd, want, tol)
+		}
+	}
+
+	// Milestones: at t=K the window has regrown to Wmax; past K it exceeds it.
+	if s.Cwnd <= w0 {
+		t.Errorf("after 100 rounds (t >> K=%.2fs): cwnd = %.2f, want > Wmax = %v", k, s.Cwnd, w0)
+	}
+}
+
+// TestCubicRenoFriendlyCrossover exercises RFC 8312 §4.2: with a small
+// window the cubic term is flat for seconds, so growth must follow the
+// Reno-friendly estimate at 3(1-beta)/(1+beta) segments per RTT; once
+// C*(t-K)^3+Wmax overtakes W_est, the cubic region takes over and the
+// trajectory rejoins the closed form.
+func TestCubicRenoFriendlyCrossover(t *testing.T) {
+	const (
+		w0   = 10.0
+		rtt  = 100 * time.Millisecond
+		beta = 0.7
+		C    = 0.4
+	)
+	run := func(disableFriendly bool, rounds int) float64 {
+		cc := &Cubic{DisableFriendly: disableFriendly}
+		s := &State{Cwnd: w0, Ssthresh: 1, MinCwnd: 2, SRTT: rtt}
+		cc.Init(s)
+		cc.OnCongestionEvent(s, 0)
+		for round := 0; round < rounds; round++ {
+			cubicRound(cc, s, time.Duration(round)*rtt)
+		}
+		return s.Cwnd
+	}
+
+	// Early phase (t up to 2s, well under the crossover): Reno-equivalent
+	// slope. W_est adds 3(1-beta)/(1+beta) ≈ 0.529 segments per RTT.
+	renoRate := 3 * (1 - beta) / (1 + beta)
+	early := run(false, 20)
+	wantEarly := beta*w0 + renoRate*20
+	if math.Abs(early-wantEarly) > 0.2*wantEarly {
+		t.Errorf("friendly region, 20 rounds: cwnd = %.2f, want ≈ beta*W0 + 20*3(1-beta)/(1+beta) = %.2f",
+			early, wantEarly)
+	}
+	// Pure cubic over the same stretch stays nearly flat — the friendly
+	// region is what carries Reno-compatible growth at small windows.
+	if pure := run(true, 20); pure >= early-2 {
+		t.Errorf("pure cubic after 20 rounds = %.2f, friendly = %.2f: want friendly clearly ahead", pure, early)
+	}
+
+	// Late phase (t = 12s >> K ≈ 1.96s): the cubic term dominates W_est
+	// (W(12s) ≈ 415 vs W_est ≈ 70), so both variants must land on the
+	// closed form regardless of the friendly region.
+	k := math.Cbrt(w0 * (1 - beta) / C)
+	tt := (time.Duration(120) * rtt).Seconds()
+	wantLate := C*math.Pow(tt-k, 3) + w0
+	for _, disable := range []bool{false, true} {
+		got := run(disable, 120)
+		if math.Abs(got-wantLate) > 0.10*wantLate {
+			t.Errorf("disableFriendly=%v, 120 rounds: cwnd = %.2f, want cubic closed form %.2f ± 10%%",
+				disable, got, wantLate)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package tcp
+
+import "testing"
+
+// sackRef is the reference model for the SACK scoreboard: plain bitmaps
+// over absolute sequence numbers and full rescans instead of sackState's
+// maps, incremental counters, loss cursor and FIFO queue. Because sacked
+// bits are sticky, rescanning the whole [una, highest-3) range at every
+// inference is equivalent to sackState's lossScan cursor — which is
+// exactly the equivalence the fuzzer checks.
+type sackRef struct {
+	sacked  []bool
+	lost    []bool
+	retxed  []bool
+	highest int64
+}
+
+func newSackRef(n int64) *sackRef {
+	return &sackRef{
+		sacked: make([]bool, n),
+		lost:   make([]bool, n),
+		retxed: make([]bool, n),
+	}
+}
+
+func (r *sackRef) record(start, end, una int64) {
+	for seq := start; seq < end; seq++ {
+		if seq < una || r.sacked[seq] {
+			continue
+		}
+		r.sacked[seq] = true
+		r.lost[seq] = false
+		if seq+1 > r.highest {
+			r.highest = seq + 1
+		}
+	}
+}
+
+func (r *sackRef) infer(una int64) int {
+	found := 0
+	for seq := una; seq < r.highest-3; seq++ {
+		if !r.sacked[seq] && !r.lost[seq] {
+			r.lost[seq] = true
+			found++
+		}
+	}
+	return found
+}
+
+func (r *sackRef) counts(una, nxt int64) (sacked, lostUnretx int) {
+	for seq := una; seq < nxt; seq++ {
+		if r.sacked[seq] {
+			sacked++
+		}
+		if r.lost[seq] && !r.retxed[seq] {
+			lostUnretx++
+		}
+	}
+	return sacked, lostUnretx
+}
+
+// FuzzSACKScoreboard feeds random operation sequences — new data, SACK
+// blocks in any arrival order, cumulative ACKs, loss inference,
+// retransmissions — to the production scoreboard and the bitmap reference
+// in lockstep, comparing the full visible state after every step.
+func FuzzSACKScoreboard(f *testing.F) {
+	// A hole recovered in order; a multi-hole burst with out-of-order
+	// blocks; an episode cut short by a cumulative ACK mid-recovery.
+	f.Add([]byte("\x00\x0f\x00\x01\x04\x03\x03\x00\x00\x04\x00\x00\x02\x02\x00"))
+	f.Add([]byte("\x00\x1f\x00\x01\x0a\x02\x01\x04\x01\x01\x10\x03\x03\x00\x00\x04\x00\x00\x04\x00\x00\x01\x02\x00\x03\x00\x00"))
+	f.Add([]byte("\x00\x10\x00\x01\x06\x03\x03\x00\x00\x02\x08\x00\x00\x04\x00\x01\x03\x02\x03\x00\x00\x04\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxSeq = 1 << 12
+		ss := newSackState()
+		ref := newSackRef(maxSeq)
+		var una, nxt int64
+
+		for i, ops := 0, 0; i+2 < len(data) && ops < 512; i, ops = i+3, ops+1 {
+			op, a, b := data[i]%5, int64(data[i+1]), int64(data[i+2])
+			switch op {
+			case 0: // sender transmits new data
+				nxt += 1 + a%16
+				if nxt > maxSeq {
+					nxt = maxSeq
+				}
+			case 1: // a SACK block arrives (any order, any overlap)
+				if nxt == una {
+					continue
+				}
+				start := una + a%(nxt-una)
+				end := start + 1 + b%8
+				if end > nxt {
+					end = nxt
+				}
+				ss.record([][2]int64{{start, end}}, una)
+				ref.record(start, end, una)
+			case 2: // cumulative ACK advances
+				if nxt == una {
+					continue
+				}
+				to := una + 1 + a%(nxt-una)
+				ss.advance(una, to)
+				una = to
+			case 3: // loss inference pass
+				got := ss.inferLosses(una)
+				want := ref.infer(una)
+				if got != want {
+					t.Fatalf("step %d: inferLosses found %d, reference %d", ops, got, want)
+				}
+			case 4: // retransmit the oldest inferred loss
+				seq, ok := ss.nextRetx(una)
+				if !ok {
+					continue
+				}
+				if seq < una || !ref.lost[seq] || ref.retxed[seq] || ref.sacked[seq] {
+					t.Fatalf("step %d: nextRetx returned %d: una=%d lost=%v retxed=%v sacked=%v",
+						ops, seq, una, ref.lost[seq], ref.retxed[seq], ref.sacked[seq])
+				}
+				ss.markRetx(seq)
+				ref.retxed[seq] = true
+			}
+
+			for seq := una; seq < nxt; seq++ {
+				if ss.sacked[seq] != ref.sacked[seq] {
+					t.Fatalf("step %d: sacked[%d] = %v, reference %v", ops, seq, ss.sacked[seq], ref.sacked[seq])
+				}
+				if ss.lost[seq] != ref.lost[seq] {
+					t.Fatalf("step %d: lost[%d] = %v, reference %v", ops, seq, ss.lost[seq], ref.lost[seq])
+				}
+			}
+			wantSacked, wantLostUnretx := ref.counts(una, nxt)
+			if ss.cntSacked != wantSacked {
+				t.Fatalf("step %d: cntSacked = %d, reference %d", ops, ss.cntSacked, wantSacked)
+			}
+			if ss.cntLostUnretx != wantLostUnretx {
+				t.Fatalf("step %d: cntLostUnretx = %d, reference %d", ops, ss.cntLostUnretx, wantLostUnretx)
+			}
+			if ss.highest != ref.highest {
+				t.Fatalf("step %d: highest = %d, reference %d", ops, ss.highest, ref.highest)
+			}
+			if wantPipe := int(nxt-una) - wantSacked - wantLostUnretx; ss.pipe(una, nxt) != wantPipe {
+				t.Fatalf("step %d: pipe = %d, reference %d", ops, ss.pipe(una, nxt), wantPipe)
+			}
+		}
+	})
+}
