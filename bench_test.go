@@ -401,6 +401,7 @@ func BenchmarkPI2EnqueueDecision(b *testing.B) {
 	warmPI2(q2, 30*time.Millisecond)
 	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
 	q := fakeQueueInfo{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = q2.Enqueue(p, q, 0)
@@ -422,6 +423,7 @@ func BenchmarkPIEEnqueueDecision(b *testing.B) {
 		pe.Update(qi, time.Duration(i)*32*time.Millisecond)
 	}
 	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = pe.Enqueue(p, qi, 0)
@@ -432,6 +434,7 @@ func BenchmarkPIEEnqueueDecision(b *testing.B) {
 func BenchmarkPI2Update(b *testing.B) {
 	q2 := core.New(core.Config{}, rand.New(rand.NewSource(1)))
 	var qi aqm.QueueInfo = warmQueue{sojourn: 25 * time.Millisecond}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q2.Update(qi, time.Duration(i)*32*time.Millisecond)
@@ -444,6 +447,7 @@ func BenchmarkPIEUpdate(b *testing.B) {
 	cfg.Estimator = aqm.EstimateBySojourn
 	pe := aqm.NewPIE(cfg, rand.New(rand.NewSource(1)))
 	var qi aqm.QueueInfo = warmQueue{sojourn: 25 * time.Millisecond}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pe.Update(qi, time.Duration(i)*32*time.Millisecond)
@@ -462,18 +466,26 @@ func BenchmarkSimulatorEventLoop(b *testing.B) {
 		}
 	}
 	s.After(0, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run()
 }
 
-// BenchmarkLinkPacketPath measures the full enqueue→serialize→deliver path.
+// BenchmarkLinkPacketPath measures the full enqueue→serialize→deliver path
+// with the pooled packet lifecycle (the deliver callback is the terminal
+// owner and recycles each packet).
 func BenchmarkLinkPacketPath(b *testing.B) {
 	s := sim.New(1)
+	pool := s.PacketPool()
 	delivered := 0
-	l := link.New(s, link.Config{RateBps: 1e12}, func(*packet.Packet) { delivered++ })
+	l := link.New(s, link.Config{RateBps: 1e12}, func(p *packet.Packet) {
+		delivered++
+		pool.Release(p)
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.Enqueue(packet.NewData(1, int64(i), packet.MSS, packet.NotECT))
+		l.Enqueue(pool.NewData(1, int64(i), packet.MSS, packet.NotECT))
 		if i%64 == 0 {
 			s.RunUntil(s.Now() + time.Microsecond)
 		}
@@ -484,9 +496,53 @@ func BenchmarkLinkPacketPath(b *testing.B) {
 	}
 }
 
+// benchNop is package-level so scheduling it captures nothing.
+func benchNop() {}
+
+// BenchmarkSchedulerChurn pins the slab scheduler's zero-alloc budget on the
+// schedule/cancel/fire mix the transports generate: each op schedules two
+// timers, cancels one (generation-checked lazy deletion) and fires the other.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := sim.New(1)
+	// Warm the slab and free list past the working set.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, benchNop)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep := s.After(time.Microsecond, benchNop)
+		cancel := s.After(2*time.Microsecond, benchNop)
+		cancel.Stop()
+		_ = keep
+		s.Run()
+	}
+}
+
+// BenchmarkPacketRecycle pins the packet free list's zero-alloc budget on a
+// steady-state get→release cycle (one data + one ACK per op, as a segment
+// exchange produces).
+func BenchmarkPacketRecycle(b *testing.B) {
+	s := sim.New(1)
+	pool := s.PacketPool()
+	// Seed the free list.
+	pool.Release(pool.NewData(1, 0, packet.MSS, packet.ECT0))
+	pool.Release(pool.NewAck(1, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := pool.NewData(1, int64(i), packet.MSS, packet.ECT0)
+		a := pool.NewAck(1, int64(i))
+		pool.Release(d)
+		pool.Release(a)
+	}
+}
+
 // BenchmarkEndToEndSimSecond measures how fast the full stack simulates one
 // virtual second of the Figure 11a scenario (5 Reno flows at 10 Mb/s).
 func BenchmarkEndToEndSimSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := sim.New(int64(i + 1))
 		d := link.NewDispatcher()

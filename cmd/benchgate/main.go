@@ -1,0 +1,159 @@
+// Command benchgate compares `go test -bench` output against the committed
+// hot-path budgets in BENCH_hotpath.json and exits nonzero on a regression.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime=100x . | go run ./cmd/benchgate
+//	go run ./cmd/benchgate -budgets BENCH_hotpath.json bench-output.txt
+//
+// A benchmark fails the gate when its allocs/op exceeds the recorded
+// max_allocs_per_op, or its ns/op exceeds ns_ratio (default 2.0) times the
+// recorded ref_ns_per_op. Every budgeted benchmark must appear in the input:
+// a silently-skipped bench would make the gate vacuous. Benchmarks without a
+// budget entry are ignored, so the input may contain a wider -bench match.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type budget struct {
+	RefNsPerOp     float64 `json:"ref_ns_per_op"`
+	MaxAllocsPerOp int64   `json:"max_allocs_per_op"`
+}
+
+type budgetFile struct {
+	NsRatio float64           `json:"ns_ratio"`
+	Budgets map[string]budget `json:"budgets"`
+}
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	hasAllocs   bool
+}
+
+// benchLine matches e.g.
+// "BenchmarkFoo-8   100   21.5 ns/op   0 B/op   0 allocs/op"
+// (the -8 GOMAXPROCS suffix and the B/op / allocs/op columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+var allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+
+func parse(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := result{nsPerOp: ns}
+		if am := allocsCol.FindStringSubmatch(m[3]); am != nil {
+			res.allocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+			res.hasAllocs = true
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	budgetsPath := flag.String("budgets", "BENCH_hotpath.json", "budget file (see BENCH_hotpath.json)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*budgetsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *budgetsPath, err)
+		os.Exit(1)
+	}
+	if bf.NsRatio <= 0 {
+		bf.NsRatio = 2.0
+	}
+	if len(bf.Budgets) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no budgets\n", *budgetsPath)
+		os.Exit(1)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := 0
+	for _, name := range sortedKeys(bf.Budgets) {
+		b := bf.Budgets[name]
+		res, ok := results[name]
+		if !ok {
+			failed++
+			fmt.Printf("benchgate: %-30s MISSING from input\n", name)
+			continue
+		}
+		bad := false
+		if res.hasAllocs && res.allocsPerOp > b.MaxAllocsPerOp {
+			bad = true
+			fmt.Printf("benchgate: %-30s FAIL allocs/op %d > budget %d\n",
+				name, res.allocsPerOp, b.MaxAllocsPerOp)
+		}
+		if !res.hasAllocs {
+			bad = true
+			fmt.Printf("benchgate: %-30s FAIL no allocs/op column (run with -benchmem or ReportAllocs)\n", name)
+		}
+		if limit := b.RefNsPerOp * bf.NsRatio; b.RefNsPerOp > 0 && res.nsPerOp > limit {
+			bad = true
+			fmt.Printf("benchgate: %-30s FAIL ns/op %.4g > %.4g (%.2gx ref %.4g)\n",
+				name, res.nsPerOp, limit, bf.NsRatio, b.RefNsPerOp)
+		}
+		if bad {
+			failed++
+			continue
+		}
+		fmt.Printf("benchgate: %-30s ok (%.4g ns/op, %d allocs/op)\n",
+			name, res.nsPerOp, res.allocsPerOp)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", failed)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]budget) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -19,6 +19,11 @@
 // every named experiment (default "all" plus every registered name with a
 // baseline) is captured at golden scale and compared against — or written
 // to — the checked-in fingerprints (see internal/golden).
+//
+// -cpuprofile, -memprofile and -trace capture pprof/execution-trace data
+// over whatever workload the other flags select (see the profiling workflow
+// in EXPERIMENTS.md); -tagfree poisons recycled packets to surface
+// use-after-release bugs.
 package main
 
 import (
@@ -26,9 +31,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"pi2/internal/campaign"
 	"pi2/internal/golden"
+	"pi2/internal/packet"
 	_ "pi2/internal/experiments" // registers every experiment
 )
 
@@ -41,6 +49,10 @@ func main() {
 	check := flag.Bool("check", false, "compare golden-scale fingerprints against the checked-in baselines")
 	update := flag.Bool("update-golden", false, "regenerate the checked-in golden fingerprints")
 	goldenDir := flag.String("golden-dir", "", "golden directory for -check/-update-golden (default: embedded baselines for -check, "+golden.DefaultDir+" for -update-golden)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
+	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
@@ -56,12 +68,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  * = included in \"all\"\n")
 	}
 	flag.Parse()
+	if *tagFree {
+		packet.PoisonFreed = true
+	}
+	stopProfiling, err := startProfiling(*cpuProfile, *tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+		os.Exit(1)
+	}
+	// Route every exit through here so profiles are flushed even when a
+	// golden check fails or an experiment errors.
+	exit := func(code int) {
+		stopProfiling()
+		if err := writeMemProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 	if *check || *update {
-		os.Exit(goldenMode(*check, *update, *jobs, *goldenDir, flag.Args()))
+		exit(goldenMode(*check, *update, *jobs, *goldenDir, flag.Args()))
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	ctx := &campaign.Context{Quick: *quick, Seed: *seed, Jobs: *jobs}
@@ -93,7 +125,7 @@ func main() {
 		if _, ok := campaign.Lookup(a); !ok {
 			fmt.Fprintf(os.Stderr, "pi2bench: unknown experiment %q\n\n", a)
 			flag.Usage()
-			os.Exit(2)
+			exit(2)
 		}
 		add(a)
 	}
@@ -102,7 +134,7 @@ func main() {
 		e, _ := campaign.Lookup(name)
 		if err := e.Run(ctx, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -110,7 +142,7 @@ func main() {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := ctx.Collector.WriteJSON(f); err == nil {
 			err = f.Close()
@@ -119,9 +151,75 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	exit(0)
+}
+
+// startProfiling begins CPU profiling and execution tracing as requested and
+// returns a function that stops both (idempotent, safe when neither is on).
+func startProfiling(cpuPath, tracePath string) (func(), error) {
+	var cpuFile, traceFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting execution trace: %w", err)
+		}
+		traceFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			rtrace.Stop()
+			traceFile.Close()
+		}
+	}, nil
+}
+
+// writeMemProfile dumps an allocation profile (after a final GC, so the
+// numbers reflect live retention rather than collection timing).
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing memory profile: %w", err)
+	}
+	return f.Close()
 }
 
 // goldenMode runs -check or -update-golden over the named experiments

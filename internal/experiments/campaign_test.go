@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -85,6 +86,63 @@ func TestGridSeedsAreIndexStable(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRecordsIdenticalAcrossJobs runs a registered experiment through the
+// campaign engine at jobs=1 and jobs=8 and compares the full run records —
+// seeds, simulated event counts and scalar metrics. With per-simulation
+// packet pools and the slab scheduler this doubles as the pooling-safety
+// determinism check: any cross-run sharing of recycled packets or scheduler
+// slots would perturb event counts or metrics between worker widths.
+func TestRunRecordsIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	capture := func(jobs int) []campaign.RunRecord {
+		exp, ok := campaign.Lookup("fig12")
+		if !ok {
+			t.Fatal("fig12 not registered")
+		}
+		col := &campaign.Collector{}
+		ctx := &campaign.Context{Quick: true, TimeDiv: 20, Seed: 1, Jobs: jobs, Collector: col}
+		if err := exp.Run(ctx, discard{}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		recs := col.Records()
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Name != recs[j].Name {
+				return recs[i].Name < recs[j].Name
+			}
+			return recs[i].Index < recs[j].Index
+		})
+		return recs
+	}
+	serial := capture(1)
+	wide := capture(8)
+	if len(serial) == 0 || len(serial) != len(wide) {
+		t.Fatalf("record counts differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		a, b := serial[i], wide[i]
+		if a.Name != b.Name || a.Index != b.Index || a.Seed != b.Seed {
+			t.Fatalf("cell %d identity differs: %s[%d]/%d vs %s[%d]/%d",
+				i, a.Name, a.Index, a.Seed, b.Name, b.Index, b.Seed)
+		}
+		if a.Events != b.Events {
+			t.Errorf("%s[%d]: events %d (jobs=1) vs %d (jobs=8)", a.Name, a.Index, a.Events, b.Events)
+		}
+		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Errorf("%s[%d]: metrics differ between jobs=1 and jobs=8", a.Name, a.Index)
+		}
+		if a.Err != "" || b.Err != "" {
+			t.Errorf("%s[%d]: cell failed: %q / %q", a.Name, a.Index, a.Err, b.Err)
+		}
+	}
+}
+
+// discard is an io.Writer that swallows the experiment's printed output.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // TestUDPStatsAccounted pins satellite coverage for the per-source UDP
 // accounting: an overloaded bottleneck must report sent, delivered and lost

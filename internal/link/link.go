@@ -51,6 +51,17 @@ type Link struct {
 
 	deliver func(*packet.Packet)
 
+	// txPkt is the packet currently being serialized and txDoneFn the
+	// pre-bound completion callback; the transmitter serializes one packet
+	// at a time, so a single slot (instead of a per-packet closure) keeps
+	// the serialize→deliver path allocation-free.
+	txPkt    *packet.Packet
+	txDoneFn sim.Event
+
+	// pool recycles dropped packets (delivered ones are released by their
+	// terminal consumer, which may sit behind further hops — see Chain).
+	pool *packet.Pool
+
 	// Statistics.
 	Sojourn    stats.Sample // per-packet queuing delay, seconds
 	Delivered  stats.RateMeter
@@ -89,7 +100,9 @@ func New(s *sim.Simulator, cfg Config, deliver func(*packet.Packet)) *Link {
 		rate:    cfg.RateBps,
 		deliver: deliver,
 		drops:   make(map[DropReason]int),
+		pool:    s.PacketPool(),
 	}
+	l.txDoneFn = l.txDone
 	if iv := a.UpdateInterval(); iv > 0 {
 		s.Every(iv, func() { a.Update(l, s.Now()) })
 	}
@@ -120,6 +133,9 @@ func (l *Link) CapacityBps() float64 { return l.rate }
 // Enqueue submits a packet to the bottleneck. The AQM and buffer limit are
 // applied here; accepted packets are serialized in FIFO order.
 func (l *Link) Enqueue(p *packet.Packet) {
+	if p.Released() {
+		panic("link: enqueued a packet that was already released to the pool")
+	}
 	now := l.sim.Now()
 	l.enqueues++
 	l.aud.offered(p, now)
@@ -154,6 +170,11 @@ func (l *Link) drop(p *packet.Packet, r DropReason, fromQueue bool) {
 	l.drops[r]++
 	if l.OnDrop != nil {
 		l.OnDrop(p, r)
+	} else {
+		// The link is the dropped packet's terminal owner; with no OnDrop
+		// observer the packet can be recycled immediately. (Observers keep
+		// ownership because tests retain dropped packets for inspection.)
+		l.pool.Release(p)
 	}
 	l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
 }
@@ -203,17 +224,25 @@ func (l *Link) startTx() {
 
 	l.busy = true
 	l.busySince = now
+	l.txPkt = p
 	txTime := time.Duration(float64(p.WireLen*8) / l.rate * float64(time.Second))
-	l.sim.After(txTime, func() {
-		l.busyTotal += l.sim.Now() - l.busySince
-		l.Delivered.Add(p.WireLen)
-		l.aud.delivered(p, l.sim.Now())
-		l.deliver(p)
-		l.busy = false
-		if len(l.queue)-l.head > 0 {
-			l.startTx()
-		}
-	})
+	l.sim.After(txTime, l.txDoneFn)
+}
+
+// txDone completes the in-flight packet's serialization and hands it to the
+// delivery callback. It is pre-bound once in New so serializing a packet
+// schedules a plain method value, not a fresh closure.
+func (l *Link) txDone() {
+	p := l.txPkt
+	l.txPkt = nil
+	l.busyTotal += l.sim.Now() - l.busySince
+	l.Delivered.Add(p.WireLen)
+	l.aud.delivered(p, l.sim.Now())
+	l.deliver(p)
+	l.busy = false
+	if len(l.queue)-l.head > 0 {
+		l.startTx()
+	}
 }
 
 // SetRateBps changes the link capacity (Figure 12's varying-capacity test).

@@ -316,6 +316,67 @@ type countingAQM struct {
 func (c *countingAQM) UpdateInterval() time.Duration       { return c.interval }
 func (c *countingAQM) Update(aqm.QueueInfo, time.Duration) { c.updates++ }
 
+// TestEnqueueAfterReleasePanics: handing the link a packet that already went
+// back to the pool is a lifecycle bug and must fail loudly.
+func TestEnqueueAfterReleasePanics(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 1e9}, func(*packet.Packet) {})
+	p := s.PacketPool().NewData(1, 0, packet.MSS, packet.NotECT)
+	s.PacketPool().Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enqueue of a released packet did not panic")
+		}
+	}()
+	l.Enqueue(p)
+}
+
+// TestDroppedPacketsRecycled: without an OnDrop observer the link is a
+// dropped packet's terminal owner and must return it to the pool.
+func TestDroppedPacketsRecycled(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 1e6, BufferPackets: 1}, func(p *packet.Packet) {
+		s.PacketPool().Release(p)
+	})
+	pool := s.PacketPool()
+	for i := int64(0); i < 10; i++ {
+		l.Enqueue(pool.NewData(1, i, packet.MSS, packet.NotECT))
+	}
+	s.Run()
+	st := pool.Stats()
+	// 1 in transmitter + 1 queued + 8 overflow-dropped; the first drop
+	// seeds the free list, so every later emission reuses its slot and at
+	// most 3 fresh packets are ever allocated.
+	if st.Released != 10 {
+		t.Errorf("released = %d, want 10", st.Released)
+	}
+	if st.Allocated > 3 {
+		t.Errorf("allocated %d fresh packets, want ≤ 3", st.Allocated)
+	}
+}
+
+// TestOnDropObserverKeepsOwnership: with OnDrop set the observer owns the
+// dropped packet (tests retain them), so the link must not recycle it.
+func TestOnDropObserverKeepsOwnership(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, Config{RateBps: 1e6, BufferPackets: 1}, func(p *packet.Packet) {})
+	var dropped []*packet.Packet
+	l.OnDrop = func(p *packet.Packet, _ DropReason) { dropped = append(dropped, p) }
+	pool := s.PacketPool()
+	for i := int64(0); i < 5; i++ {
+		l.Enqueue(pool.NewData(1, i, packet.MSS, packet.NotECT))
+	}
+	s.Run()
+	for _, p := range dropped {
+		if p.Released() {
+			t.Fatal("link recycled a packet owned by the OnDrop observer")
+		}
+	}
+	if len(dropped) != 3 {
+		t.Errorf("dropped %d, want 3", len(dropped))
+	}
+}
+
 func TestRingCompaction(t *testing.T) {
 	// Push/pop enough packets to force the head-index compaction path.
 	s := sim.New(1)

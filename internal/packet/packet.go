@@ -75,7 +75,9 @@ func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
 //
 // Packets are passed by pointer and owned by exactly one component at a
 // time (sender → queue → link → receiver); they are never aliased, so no
-// locking is needed (the simulator is single-threaded anyway).
+// locking is needed (the simulator is single-threaded anyway). The terminal
+// owner — the receiver for delivered packets, the link for dropped ones —
+// returns the packet to the simulation's Pool for recycling.
 type Packet struct {
 	// FlowID identifies the transport connection.
 	FlowID int
@@ -108,6 +110,10 @@ type Packet struct {
 	EnqueuedAt time.Duration
 	// Retransmit marks retransmitted data segments (diagnostics only).
 	Retransmit bool
+
+	// released is set while the packet sits in a Pool's free list; the
+	// data path asserts it is false to catch use-after-release.
+	released bool
 }
 
 // Common wire sizes. MSS is the data payload per segment; HeaderLen covers

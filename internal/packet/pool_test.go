@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPoolRecyclesReleasedPackets(t *testing.T) {
+	var pl Pool
+	p1 := pl.NewData(1, 0, MSS, ECT0)
+	pl.Release(p1)
+	p2 := pl.NewAck(2, 7)
+	if p1 != p2 {
+		t.Error("pool did not recycle the released packet")
+	}
+	if p2.Released() {
+		t.Error("packet handed out by Get still marked released")
+	}
+	st := pl.Stats()
+	if st.Allocated != 1 || st.Reused != 1 || st.Released != 1 {
+		t.Errorf("stats = %+v, want {1 1 1}", st)
+	}
+}
+
+// TestPoolGetReturnsZeroedPacket: recycled slots must not leak the previous
+// tenant's fields — a stale SACK block or ECE flag would corrupt a flow.
+func TestPoolGetReturnsZeroedPacket(t *testing.T) {
+	var pl Pool
+	p := pl.NewData(9, 42, MSS, ECT1)
+	p.Flags = FlagACK | FlagECE
+	p.SACK = [][2]int64{{1, 2}}
+	p.AckedCE = true
+	p.Retransmit = true
+	pl.Release(p)
+	q := pl.Get()
+	if !reflect.DeepEqual(*q, Packet{}) {
+		t.Errorf("recycled packet not zeroed: %+v", q)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		if !strings.Contains(r.(string), "double release") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	var pl Pool
+	p := pl.NewAck(1, 1)
+	pl.Release(p)
+	pl.Release(p)
+}
+
+// TestPoolAdoptsForeignPackets: packets built with the plain constructors
+// (tests, hand-wired topologies) can be released into any pool.
+func TestPoolAdoptsForeignPackets(t *testing.T) {
+	var pl Pool
+	p := NewData(1, 0, MSS, NotECT)
+	pl.Release(p)
+	if got := pl.Get(); got != p {
+		t.Error("adopted packet was not recycled")
+	}
+}
+
+// TestPoolConstructorsMatchPlainConstructors: the pooled NewData/NewAck must
+// produce field-identical packets, or pooling would change simulations.
+func TestPoolConstructorsMatchPlainConstructors(t *testing.T) {
+	var pl Pool
+	if d1, d2 := NewData(3, 5, MSS, ECT1), pl.NewData(3, 5, MSS, ECT1); !reflect.DeepEqual(*d1, *d2) {
+		t.Errorf("NewData mismatch: %+v vs %+v", d1, d2)
+	}
+	if a1, a2 := NewAck(4, 9), pl.NewAck(4, 9); !reflect.DeepEqual(*a1, *a2) {
+		t.Errorf("NewAck mismatch: %+v vs %+v", a1, a2)
+	}
+}
+
+func TestPoisonScramblesReleasedPacket(t *testing.T) {
+	pl := Pool{Poison: true}
+	p := pl.NewData(1, 10, MSS, ECT0)
+	pl.Release(p)
+	if p.WireLen >= 0 {
+		t.Error("poisoned packet kept a plausible WireLen")
+	}
+	if p.Seq != poisonSeq || p.Ack != poisonSeq {
+		t.Error("poisoned packet kept plausible seq/ack")
+	}
+	if p.FlowID >= 0 {
+		t.Error("poisoned packet kept a plausible FlowID")
+	}
+	// A poisoned slot must still be recycled clean.
+	if q := pl.Get(); q != p || !reflect.DeepEqual(*q, Packet{}) {
+		t.Error("poisoned slot not recycled zeroed")
+	}
+}

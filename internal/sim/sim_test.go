@@ -60,16 +60,19 @@ func TestTimerStop(t *testing.T) {
 	if ran {
 		t.Error("stopped timer still fired")
 	}
-	// Stopping again (and stopping nil) must be safe.
+	// Stopping again (and stopping a zero Timer) must be safe.
 	tm.Stop()
-	var nilTimer *Timer
-	nilTimer.Stop()
+	var zero Timer
+	zero.Stop()
+	if zero.Active() {
+		t.Error("zero Timer reports Active")
+	}
 }
 
 func TestEveryTicksAndStops(t *testing.T) {
 	s := New(1)
 	n := 0
-	var tm *Timer
+	var tm Timer
 	tm = s.Every(10*time.Millisecond, func() {
 		n++
 		if n == 5 {
@@ -239,7 +242,7 @@ func TestCancelledEventsSkippedByPending(t *testing.T) {
 // schedule / cancel / double-cancel / fire / post-fire-cancel transitions.
 func TestPendingCounterTracksLifecycle(t *testing.T) {
 	s := New(1)
-	timers := make([]*Timer, 10)
+	timers := make([]Timer, 10)
 	for i := range timers {
 		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
 	}
@@ -275,7 +278,7 @@ func TestPendingCounterTracksLifecycle(t *testing.T) {
 func TestEveryStopInsideOwnCallback(t *testing.T) {
 	s := New(1)
 	n := 0
-	var tm *Timer
+	var tm Timer
 	tm = s.Every(10*time.Millisecond, func() {
 		n++
 		if n == 3 {
@@ -321,7 +324,7 @@ func TestEveryStopFromEventAtSameTimestamp(t *testing.T) {
 	// tick can fire: zero ticks.
 	s2 := New(1)
 	m := 0
-	var tm2 *Timer
+	var tm2 Timer
 	s2.At(10*time.Millisecond, func() { tm2.Stop() })
 	tm2 = s2.Every(10*time.Millisecond, func() { m++ })
 	s2.RunUntil(time.Second)
@@ -337,7 +340,7 @@ func TestEveryStopFromEventAtSameTimestamp(t *testing.T) {
 // dead items at the heap top (the eager-drain path).
 func TestStopDrainsDeadHeapTop(t *testing.T) {
 	s := New(1)
-	var head []*Timer
+	var head []Timer
 	for i := 0; i < 5; i++ {
 		head = append(head, s.After(time.Millisecond, func() {}))
 	}
@@ -353,3 +356,76 @@ func TestStopDrainsDeadHeapTop(t *testing.T) {
 		t.Error("surviving event did not run first")
 	}
 }
+
+// TestTimerActiveLifecycle pins Active across schedule / stop / fire.
+func TestTimerActiveLifecycle(t *testing.T) {
+	s := New(1)
+	t1 := s.After(time.Millisecond, func() {})
+	if !t1.Active() {
+		t.Error("pending timer not Active")
+	}
+	t1.Stop()
+	if t1.Active() {
+		t.Error("stopped timer still Active")
+	}
+	t2 := s.After(time.Millisecond, func() {})
+	s.Run()
+	if t2.Active() {
+		t.Error("fired timer still Active")
+	}
+}
+
+// TestStaleHandleDoesNotTouchRecycledSlot: a Timer held past its event's
+// lifetime must not cancel the slot's next tenant (generation check).
+func TestStaleHandleDoesNotTouchRecycledSlot(t *testing.T) {
+	s := New(1)
+	t1 := s.After(time.Millisecond, func() {})
+	s.Run() // t1 fires; its slot goes to the free list
+	ran := false
+	t2 := s.After(time.Millisecond, func() { ran = true }) // reuses the slot
+	t1.Stop()                                              // stale handle: must be a no-op
+	if !t2.Active() {
+		t.Fatal("stale Stop cancelled the slot's new tenant")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("recycled slot's event did not run")
+	}
+}
+
+// TestSlabRecyclesSlots: a schedule/fire churn loop must not grow the slab
+// past the peak number of concurrently pending events.
+func TestSlabRecyclesSlots(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+	if got := len(s.slab); got > 4 {
+		t.Errorf("slab grew to %d slots for 1 concurrent event", got)
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate pins the zero-alloc property the
+// scheduler exists for: once slab and heap have grown to the working set,
+// schedule/fire/reschedule cycles allocate nothing.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	// Warm up: grow slab, heap and free list to the working set.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, nop)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i)*time.Microsecond, nop)
+		}
+		s.Run()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state schedule/fire allocates %.1f allocs per cycle, want 0", avg)
+	}
+}
+
+// nop is package-level so scheduling it captures nothing.
+func nop() {}

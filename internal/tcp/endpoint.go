@@ -97,14 +97,30 @@ type Endpoint struct {
 	inflation  float64
 	cwrEnd     int64 // classic-ECN: next ECE reaction allowed past this seq
 	cwrPend    bool  // set CWR on the next new data segment
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff int
 	hystart    bool
 	nextSend   time.Duration
-	paceTimer  *sim.Timer
+	paceTimer  sim.Timer
 	stopped    bool
 	started    bool
 	completed  bool
+
+	// pool recycles this endpoint's packets; pre-bound method values below
+	// keep the per-segment and per-ACK scheduling allocation-free (a fresh
+	// closure per event was a top allocation site in profiles).
+	pool         *packet.Pool
+	onRTOFn      sim.Event
+	paceFireFn   sim.Event
+	delAckFireFn sim.Event
+	ackArriveFn  sim.Event
+
+	// ackQ holds in-flight ACKs (sent, not yet arrived at the sender) in
+	// FIFO order. The reverse path is a fixed BaseRTT delay, so arrival
+	// order equals send order and one pre-bound callback can pop the front
+	// instead of each ACK capturing itself in a closure.
+	ackQ    []*packet.Packet
+	ackHead int
 
 	// SACK scoreboard (nil unless Config.SACK).
 	sack *sackState
@@ -116,7 +132,7 @@ type Endpoint struct {
 	ackPending   int
 	rcvLastCE    bool
 	rcvRecentSeq int64 // segment whose arrival triggered the pending ACK
-	delAck       *sim.Timer
+	delAck       sim.Timer
 
 	// Statistics.
 	Goodput          stats.RateMeter // in-order payload bytes delivered
@@ -163,7 +179,12 @@ func NewWithEnqueuer(s *sim.Simulator, enqueue Enqueuer, cfg Config) *Endpoint {
 		enqueue: enqueue,
 		cc:      cfg.CC,
 		meta:    make(map[int64]segMeta),
+		pool:    s.PacketPool(),
 	}
+	e.onRTOFn = e.onRTO
+	e.paceFireFn = e.paceFire
+	e.delAckFireFn = e.delAckFire
+	e.ackArriveFn = e.ackArrive
 	if cfg.SACK {
 		e.sack = newSackState()
 	}
@@ -206,10 +227,8 @@ func (e *Endpoint) Start() {
 // Used by the varying-intensity experiments to retire flows.
 func (e *Endpoint) Stop() {
 	e.stopped = true
-	if e.rtoTimer != nil {
-		e.rtoTimer.Stop()
-		e.rtoTimer = nil
-	}
+	e.rtoTimer.Stop()
+	e.rtoTimer = sim.Timer{}
 }
 
 // Stopped reports whether the flow has been stopped.
@@ -285,11 +304,8 @@ func (e *Endpoint) paceGate() bool {
 	}
 	now := e.sim.Now()
 	if now < e.nextSend {
-		if e.paceTimer == nil {
-			e.paceTimer = e.sim.At(e.nextSend, func() {
-				e.paceTimer = nil
-				e.trySend()
-			})
+		if !e.paceTimer.Active() {
+			e.paceTimer = e.sim.At(e.nextSend, e.paceFireFn)
 		}
 		return false
 	}
@@ -313,9 +329,15 @@ func (e *Endpoint) paceGate() bool {
 	return true
 }
 
+// paceFire resumes sending when the pacing credit matures.
+func (e *Endpoint) paceFire() {
+	e.paceTimer = sim.Timer{}
+	e.trySend()
+}
+
 func (e *Endpoint) sendSeg(seq int64, retx bool) {
 	now := e.sim.Now()
-	p := packet.NewData(e.cfg.ID, seq, packet.MSS, e.ecnCodepoint())
+	p := e.pool.NewData(e.cfg.ID, seq, packet.MSS, e.ecnCodepoint())
 	p.SentAt = now
 	p.Retransmit = retx
 	if e.cwrPend && !retx {
@@ -331,18 +353,16 @@ func (e *Endpoint) sendSeg(seq int64, retx bool) {
 	// Arm (but never restart) the retransmission timer: restarting on
 	// every transmission would let a steady stream of new data postpone
 	// the timeout indefinitely while the ACK point is stuck.
-	if e.rtoTimer == nil {
+	if !e.rtoTimer.Active() {
 		e.armRTO()
 	}
 }
 
 // armRTO (re)starts the retransmission timer.
 func (e *Endpoint) armRTO() {
-	if e.rtoTimer != nil {
-		e.rtoTimer.Stop()
-	}
+	e.rtoTimer.Stop()
 	d := e.rtoInterval()
-	e.rtoTimer = e.sim.After(d, e.onRTO)
+	e.rtoTimer = e.sim.After(d, e.onRTOFn)
 }
 
 func (e *Endpoint) rtoInterval() time.Duration {
@@ -363,7 +383,10 @@ func (e *Endpoint) rtoInterval() time.Duration {
 }
 
 func (e *Endpoint) onRTO() {
-	e.rtoTimer = nil
+	// Clear before anything else: the timer is firing, so Active() would
+	// still report true for the executing slot, and sendSeg below must be
+	// free to re-arm.
+	e.rtoTimer = sim.Timer{}
 	if e.sndNxt == e.sndUna || e.stopped {
 		return
 	}
@@ -451,9 +474,9 @@ func (e *Endpoint) onAck(p *packet.Packet) {
 		}
 		if e.sndNxt > e.sndUna {
 			e.armRTO()
-		} else if e.rtoTimer != nil {
+		} else {
 			e.rtoTimer.Stop()
-			e.rtoTimer = nil
+			e.rtoTimer = sim.Timer{}
 		}
 		e.checkComplete(now)
 
@@ -534,10 +557,8 @@ func (e *Endpoint) checkComplete(now time.Duration) {
 	}
 	e.completed = true
 	e.completedAt = now
-	if e.rtoTimer != nil {
-		e.rtoTimer.Stop()
-		e.rtoTimer = nil
-	}
+	e.rtoTimer.Stop()
+	e.rtoTimer = sim.Timer{}
 	if e.cfg.OnComplete != nil {
 		e.cfg.OnComplete(now)
 	}
@@ -551,6 +572,13 @@ func (e *Endpoint) checkComplete(now time.Duration) {
 // Config.AckEvery > 1 — and the ACK arrives back at the sender after the
 // flow's base RTT.
 func (e *Endpoint) DeliverData(p *packet.Packet) {
+	e.receiveData(p)
+	// The receiver is the data packet's terminal owner: everything needed
+	// from it has been copied out, so the slot can be recycled.
+	e.pool.Release(p)
+}
+
+func (e *Endpoint) receiveData(p *packet.Packet) {
 	ce := p.ECN == packet.CE
 	if ce {
 		e.marksSeen++
@@ -593,13 +621,16 @@ func (e *Endpoint) DeliverData(p *packet.Packet) {
 		e.sendAckNow(ce)
 		return
 	}
-	if e.delAck == nil {
-		e.delAck = e.sim.After(e.cfg.DelAckTimeout, func() {
-			e.delAck = nil
-			if e.ackPending > 0 {
-				e.sendAckNow(e.rcvLastCE)
-			}
-		})
+	if !e.delAck.Active() {
+		e.delAck = e.sim.After(e.cfg.DelAckTimeout, e.delAckFireFn)
+	}
+}
+
+// delAckFire flushes a withheld ACK when the delayed-ACK timer expires.
+func (e *Endpoint) delAckFire() {
+	e.delAck = sim.Timer{}
+	if e.ackPending > 0 {
+		e.sendAckNow(e.rcvLastCE)
 	}
 }
 
@@ -624,12 +655,10 @@ func (e *Endpoint) insertOOO(seq int64) {
 
 // sendAckNow emits the cumulative ACK covering everything pending.
 func (e *Endpoint) sendAckNow(ce bool) {
-	if e.delAck != nil {
-		e.delAck.Stop()
-		e.delAck = nil
-	}
+	e.delAck.Stop()
+	e.delAck = sim.Timer{}
 	e.ackPending = 0
-	ack := packet.NewAck(e.cfg.ID, e.rcvNxt)
+	ack := e.pool.NewAck(e.cfg.ID, e.rcvNxt)
 	ack.AckedCE = ce
 	if e.eceLatch {
 		ack.Flags |= packet.FlagECE
@@ -637,7 +666,26 @@ func (e *Endpoint) sendAckNow(ce bool) {
 	if e.cfg.SACK && len(e.oooSorted) > 0 {
 		ack.SACK = sackBlocks(e.oooSorted, e.rcvRecentSeq)
 	}
-	e.sim.After(e.cfg.BaseRTT, func() { e.onAck(ack) })
+	// The reverse path is a constant BaseRTT delay, so ACKs arrive in send
+	// order: push onto the FIFO ring and let the pre-bound arrival callback
+	// pop the front, instead of allocating a closure per ACK.
+	e.ackQ = append(e.ackQ, ack)
+	e.sim.After(e.cfg.BaseRTT, e.ackArriveFn)
+}
+
+// ackArrive delivers the oldest in-flight ACK to the sender and recycles it.
+func (e *Endpoint) ackArrive() {
+	p := e.ackQ[e.ackHead]
+	e.ackQ[e.ackHead] = nil
+	e.ackHead++
+	if e.ackHead > 64 && e.ackHead*2 >= len(e.ackQ) {
+		n := copy(e.ackQ, e.ackQ[e.ackHead:])
+		clear(e.ackQ[n:])
+		e.ackQ = e.ackQ[:n]
+		e.ackHead = 0
+	}
+	e.onAck(p)
+	e.pool.Release(p)
 }
 
 // String implements fmt.Stringer for diagnostics.

@@ -52,7 +52,8 @@ type UDPSource struct {
 	flowID   int
 	simr     *sim.Simulator
 	link     *link.Link
-	timer    *sim.Timer
+	pool     *packet.Pool
+	timer    sim.Timer
 }
 
 // StartUDP wires a UDP source into the simulation: packets enter the link
@@ -61,8 +62,11 @@ func StartUDP(s *sim.Simulator, l *link.Link, d *link.Dispatcher, flowID int, sp
 	if spec.PacketLen == 0 {
 		spec.PacketLen = packet.FullLen
 	}
-	u := &UDPSource{Spec: spec, flowID: flowID, simr: s, link: l}
-	d.Register(flowID, func(p *packet.Packet) { u.Received.Add(p.WireLen) })
+	u := &UDPSource{Spec: spec, flowID: flowID, simr: s, link: l, pool: s.PacketPool()}
+	d.Register(flowID, func(p *packet.Packet) {
+		u.Received.Add(p.WireLen)
+		u.pool.Release(p) // UDP sink: terminal owner of delivered packets
+	})
 	interval := time.Duration(float64(spec.PacketLen*8) / spec.RateBps * float64(time.Second))
 	s.At(spec.StartAt, func() {
 		u.ResetStats(s.Now())
@@ -70,17 +74,16 @@ func StartUDP(s *sim.Simulator, l *link.Link, d *link.Dispatcher, flowID int, sp
 		u.emit()
 	})
 	if spec.StopAt > spec.StartAt {
-		s.At(spec.StopAt, func() {
-			if u.timer != nil {
-				u.timer.Stop()
-			}
-		})
+		s.At(spec.StopAt, func() { u.timer.Stop() })
 	}
 	return u
 }
 
 func (u *UDPSource) emit() {
-	p := &packet.Packet{FlowID: u.flowID, WireLen: u.Spec.PacketLen, ECN: packet.NotECT}
+	p := u.pool.Get()
+	p.FlowID = u.flowID
+	p.WireLen = u.Spec.PacketLen
+	p.ECN = packet.NotECT
 	u.Sent.Add(p.WireLen)
 	u.link.Enqueue(p)
 }
