@@ -24,6 +24,7 @@ import (
 	"pi2/internal/link"
 	"pi2/internal/packet"
 	"pi2/internal/sim"
+	"pi2/internal/stats"
 	"pi2/internal/tcp"
 	"pi2/internal/traffic"
 )
@@ -557,6 +558,46 @@ func BenchmarkEndToEndSimSecond(b *testing.B) {
 		}
 		s.RunUntil(time.Second)
 	}
+}
+
+// BenchmarkManyFlows measures one virtual second of the heavy tier's
+// 1000-flow cell (even reno/cubic/dctcp mix, fair share 2 Mb/s per flow,
+// PI2 bottleneck, constant-memory histogram collector). Setup and a warm-up
+// second run outside the timer, so allocs/op and bytes/op capture the
+// steady-state per-sim-second cost — the budget BENCH_hotpath.json gates.
+func BenchmarkManyFlows(b *testing.B) {
+	const flows = 1000
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 2e6 * flows,
+		AQM:     core.New(core.Config{}, s.RNG()),
+		Sojourn: stats.NewDelayHistogram(),
+	}, d.Deliver)
+	for id := 1; id <= flows; id++ {
+		var cc tcp.CongestionControl
+		mode := tcp.ECNOff
+		switch id % 3 {
+		case 0:
+			cc = tcp.Reno{}
+		case 1:
+			cc = &tcp.Cubic{}
+		case 2:
+			cc = &tcp.DCTCP{}
+			mode = tcp.ECNScalable
+		}
+		ep := tcp.New(s, l, tcp.Config{ID: id, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond})
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+	}
+	s.RunUntil(time.Second) // warm up: slow start, queue fill, pool growth
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(time.Duration(i+2) * time.Second)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Processed())/float64(b.N), "events/op")
 }
 
 // BenchmarkAblationSACK compares NewReno and SACK recovery for a Classic

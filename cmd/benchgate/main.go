@@ -7,10 +7,11 @@
 //	go run ./cmd/benchgate -budgets BENCH_hotpath.json bench-output.txt
 //
 // A benchmark fails the gate when its allocs/op exceeds the recorded
-// max_allocs_per_op, or its ns/op exceeds ns_ratio (default 2.0) times the
-// recorded ref_ns_per_op. Every budgeted benchmark must appear in the input:
-// a silently-skipped bench would make the gate vacuous. Benchmarks without a
-// budget entry are ignored, so the input may contain a wider -bench match.
+// max_allocs_per_op, its B/op exceeds max_bytes_per_op (when set), or its
+// ns/op exceeds ns_ratio (default 2.0) times the recorded ref_ns_per_op.
+// Every budgeted benchmark must appear in the input: a silently-skipped
+// bench would make the gate vacuous. Benchmarks without a budget entry are
+// ignored, so the input may contain a wider -bench match.
 package main
 
 import (
@@ -27,6 +28,9 @@ import (
 type budget struct {
 	RefNsPerOp     float64 `json:"ref_ns_per_op"`
 	MaxAllocsPerOp int64   `json:"max_allocs_per_op"`
+	// MaxBytesPerOp gates the B/op column; nil leaves bytes ungated (the
+	// zero-alloc benches pin allocs/op instead, which implies B/op 0).
+	MaxBytesPerOp *int64 `json:"max_bytes_per_op,omitempty"`
 }
 
 type budgetFile struct {
@@ -37,7 +41,9 @@ type budgetFile struct {
 type result struct {
 	nsPerOp     float64
 	allocsPerOp int64
+	bytesPerOp  int64
 	hasAllocs   bool
+	hasBytes    bool
 }
 
 // benchLine matches e.g.
@@ -46,7 +52,10 @@ type result struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
 
-var allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+var (
+	allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+	bytesCol  = regexp.MustCompile(`(\d+) B/op`)
+)
 
 func parse(r io.Reader) (map[string]result, error) {
 	out := make(map[string]result)
@@ -65,9 +74,75 @@ func parse(r io.Reader) (map[string]result, error) {
 			res.allocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
 			res.hasAllocs = true
 		}
+		if bm := bytesCol.FindStringSubmatch(m[3]); bm != nil {
+			res.bytesPerOp, _ = strconv.ParseInt(bm[1], 10, 64)
+			res.hasBytes = true
+		}
 		out[m[1]] = res
 	}
 	return out, sc.Err()
+}
+
+func loadBudgets(raw []byte) (budgetFile, error) {
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return bf, err
+	}
+	if bf.NsRatio <= 0 {
+		bf.NsRatio = 2.0
+	}
+	if len(bf.Budgets) == 0 {
+		return bf, fmt.Errorf("no budgets")
+	}
+	return bf, nil
+}
+
+// gate checks every budgeted benchmark against the parsed results, writing
+// one line per budget to w. It returns the number of failed gates.
+func gate(w io.Writer, bf budgetFile, results map[string]result) int {
+	failed := 0
+	for _, name := range sortedKeys(bf.Budgets) {
+		b := bf.Budgets[name]
+		res, ok := results[name]
+		if !ok {
+			failed++
+			fmt.Fprintf(w, "benchgate: %-30s MISSING from input\n", name)
+			continue
+		}
+		bad := false
+		if res.hasAllocs && res.allocsPerOp > b.MaxAllocsPerOp {
+			bad = true
+			fmt.Fprintf(w, "benchgate: %-30s FAIL allocs/op %d > budget %d\n",
+				name, res.allocsPerOp, b.MaxAllocsPerOp)
+		}
+		if !res.hasAllocs {
+			bad = true
+			fmt.Fprintf(w, "benchgate: %-30s FAIL no allocs/op column (run with -benchmem or ReportAllocs)\n", name)
+		}
+		if b.MaxBytesPerOp != nil {
+			switch {
+			case !res.hasBytes:
+				bad = true
+				fmt.Fprintf(w, "benchgate: %-30s FAIL no B/op column (run with -benchmem or ReportAllocs)\n", name)
+			case res.bytesPerOp > *b.MaxBytesPerOp:
+				bad = true
+				fmt.Fprintf(w, "benchgate: %-30s FAIL B/op %d > budget %d\n",
+					name, res.bytesPerOp, *b.MaxBytesPerOp)
+			}
+		}
+		if limit := b.RefNsPerOp * bf.NsRatio; b.RefNsPerOp > 0 && res.nsPerOp > limit {
+			bad = true
+			fmt.Fprintf(w, "benchgate: %-30s FAIL ns/op %.4g > %.4g (%.2gx ref %.4g)\n",
+				name, res.nsPerOp, limit, bf.NsRatio, b.RefNsPerOp)
+		}
+		if bad {
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "benchgate: %-30s ok (%.4g ns/op, %d allocs/op, %d B/op)\n",
+			name, res.nsPerOp, res.allocsPerOp, res.bytesPerOp)
+	}
+	return failed
 }
 
 func main() {
@@ -79,16 +154,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
-	var bf budgetFile
-	if err := json.Unmarshal(raw, &bf); err != nil {
+	bf, err := loadBudgets(raw)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *budgetsPath, err)
-		os.Exit(1)
-	}
-	if bf.NsRatio <= 0 {
-		bf.NsRatio = 2.0
-	}
-	if len(bf.Budgets) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s has no budgets\n", *budgetsPath)
 		os.Exit(1)
 	}
 
@@ -108,38 +176,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	failed := 0
-	for _, name := range sortedKeys(bf.Budgets) {
-		b := bf.Budgets[name]
-		res, ok := results[name]
-		if !ok {
-			failed++
-			fmt.Printf("benchgate: %-30s MISSING from input\n", name)
-			continue
-		}
-		bad := false
-		if res.hasAllocs && res.allocsPerOp > b.MaxAllocsPerOp {
-			bad = true
-			fmt.Printf("benchgate: %-30s FAIL allocs/op %d > budget %d\n",
-				name, res.allocsPerOp, b.MaxAllocsPerOp)
-		}
-		if !res.hasAllocs {
-			bad = true
-			fmt.Printf("benchgate: %-30s FAIL no allocs/op column (run with -benchmem or ReportAllocs)\n", name)
-		}
-		if limit := b.RefNsPerOp * bf.NsRatio; b.RefNsPerOp > 0 && res.nsPerOp > limit {
-			bad = true
-			fmt.Printf("benchgate: %-30s FAIL ns/op %.4g > %.4g (%.2gx ref %.4g)\n",
-				name, res.nsPerOp, limit, bf.NsRatio, b.RefNsPerOp)
-		}
-		if bad {
-			failed++
-			continue
-		}
-		fmt.Printf("benchgate: %-30s ok (%.4g ns/op, %d allocs/op)\n",
-			name, res.nsPerOp, res.allocsPerOp)
-	}
-	if failed > 0 {
+	if failed := gate(os.Stdout, bf, results); failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", failed)
 		os.Exit(1)
 	}

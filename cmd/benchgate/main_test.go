@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: pi2
+BenchmarkPI2Decision-8      	 5000000	        21.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEndToEndSimSecond 	     100	 40000000 ns/op	   12345 B/op	     500 allocs/op
+BenchmarkManyFlows-16      	      10	 2.4e+08 ns/op	    3801 B/op	       2 allocs/op
+BenchmarkNoMemColumns      	 1000000	      1000 ns/op
+PASS
+ok  	pi2	10.0s
+`
+
+func parseSample(t *testing.T) map[string]result {
+	t.Helper()
+	res, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return res
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	res := parseSample(t)
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(res), res)
+	}
+	// GOMAXPROCS suffix is stripped; all three columns captured.
+	p, ok := res["BenchmarkPI2Decision"]
+	if !ok {
+		t.Fatal("BenchmarkPI2Decision missing (suffix not stripped?)")
+	}
+	if p.nsPerOp != 21.5 || !p.hasAllocs || p.allocsPerOp != 0 || !p.hasBytes || p.bytesPerOp != 0 {
+		t.Errorf("PI2Decision parsed as %+v", p)
+	}
+	// Scientific-notation ns/op.
+	if m := res["BenchmarkManyFlows"]; m.nsPerOp != 2.4e8 || m.allocsPerOp != 2 || m.bytesPerOp != 3801 {
+		t.Errorf("ManyFlows parsed as %+v", m)
+	}
+	// Lines without -benchmem columns parse but flag the absence.
+	if n := res["BenchmarkNoMemColumns"]; n.hasAllocs || n.hasBytes {
+		t.Errorf("NoMemColumns claims mem columns: %+v", n)
+	}
+}
+
+func TestParseRejectsMalformedNs(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkBad 10 1.2.3 ns/op\n"))
+	if err == nil {
+		t.Fatal("want error for malformed ns/op")
+	}
+}
+
+func TestLoadBudgets(t *testing.T) {
+	bf, err := loadBudgets([]byte(`{"ns_ratio": 3.5, "budgets": {"BenchmarkX": {"ref_ns_per_op": 10, "max_allocs_per_op": 1}}}`))
+	if err != nil {
+		t.Fatalf("loadBudgets: %v", err)
+	}
+	if bf.NsRatio != 3.5 || len(bf.Budgets) != 1 {
+		t.Errorf("loaded %+v", bf)
+	}
+	if bf.Budgets["BenchmarkX"].MaxBytesPerOp != nil {
+		t.Error("absent max_bytes_per_op should stay nil (ungated)")
+	}
+
+	// Default ratio.
+	bf, err = loadBudgets([]byte(`{"budgets": {"BenchmarkX": {}}}`))
+	if err != nil || bf.NsRatio != 2.0 {
+		t.Errorf("default ns_ratio: %v %v", bf.NsRatio, err)
+	}
+
+	// Malformed JSON and empty budgets are errors.
+	if _, err := loadBudgets([]byte(`{`)); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if _, err := loadBudgets([]byte(`{"budgets": {}}`)); err == nil {
+		t.Error("want error for empty budgets")
+	}
+}
+
+func newBudgets(name string, b budget) budgetFile {
+	return budgetFile{NsRatio: 2.0, Budgets: map[string]budget{name: b}}
+}
+
+func i64(v int64) *int64 { return &v }
+
+func runGate(t *testing.T, bf budgetFile) (int, string) {
+	t.Helper()
+	var sb strings.Builder
+	failed := gate(&sb, bf, parseSample(t))
+	return failed, sb.String()
+}
+
+func TestGatePasses(t *testing.T) {
+	failed, out := runGate(t, newBudgets("BenchmarkManyFlows", budget{
+		RefNsPerOp: 2.4e8, MaxAllocsPerOp: 50, MaxBytesPerOp: i64(65536),
+	}))
+	if failed != 0 {
+		t.Fatalf("gate failed:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("no ok line:\n%s", out)
+	}
+}
+
+func TestGateMissingBenchmark(t *testing.T) {
+	failed, out := runGate(t, newBudgets("BenchmarkNotRun", budget{MaxAllocsPerOp: 10}))
+	if failed != 1 || !strings.Contains(out, "MISSING") {
+		t.Fatalf("failed=%d out:\n%s", failed, out)
+	}
+}
+
+func TestGateAllocsRegression(t *testing.T) {
+	failed, out := runGate(t, newBudgets("BenchmarkManyFlows", budget{MaxAllocsPerOp: 1}))
+	if failed != 1 || !strings.Contains(out, "FAIL allocs/op 2 > budget 1") {
+		t.Fatalf("failed=%d out:\n%s", failed, out)
+	}
+}
+
+func TestGateBytesRegression(t *testing.T) {
+	failed, out := runGate(t, newBudgets("BenchmarkManyFlows", budget{
+		MaxAllocsPerOp: 50, MaxBytesPerOp: i64(1024),
+	}))
+	if failed != 1 || !strings.Contains(out, "FAIL B/op 3801 > budget 1024") {
+		t.Fatalf("failed=%d out:\n%s", failed, out)
+	}
+}
+
+func TestGateNsRegression(t *testing.T) {
+	failed, out := runGate(t, newBudgets("BenchmarkPI2Decision", budget{
+		RefNsPerOp: 5, MaxAllocsPerOp: 0,
+	}))
+	if failed != 1 || !strings.Contains(out, "FAIL ns/op") {
+		t.Fatalf("failed=%d out:\n%s", failed, out)
+	}
+}
+
+func TestGateMissingMemColumns(t *testing.T) {
+	// A budgeted bench that ran without ReportAllocs fails both mem gates.
+	failed, out := runGate(t, newBudgets("BenchmarkNoMemColumns", budget{
+		MaxAllocsPerOp: 10, MaxBytesPerOp: i64(100),
+	}))
+	if failed != 1 {
+		t.Fatalf("failed=%d out:\n%s", failed, out)
+	}
+	if !strings.Contains(out, "no allocs/op column") || !strings.Contains(out, "no B/op column") {
+		t.Errorf("missing-column diagnostics absent:\n%s", out)
+	}
+}
+
+func TestGateNilBytesBudgetIgnoresBytes(t *testing.T) {
+	// Without max_bytes_per_op, any B/op value passes.
+	failed, out := runGate(t, newBudgets("BenchmarkEndToEndSimSecond", budget{
+		MaxAllocsPerOp: 600,
+	}))
+	if failed != 0 {
+		t.Fatalf("nil bytes budget should not gate B/op:\n%s", out)
+	}
+}

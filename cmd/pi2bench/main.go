@@ -35,13 +35,14 @@ import (
 	rtrace "runtime/trace"
 
 	"pi2/internal/campaign"
+	_ "pi2/internal/experiments" // registers every experiment
 	"pi2/internal/golden"
 	"pi2/internal/packet"
-	_ "pi2/internal/experiments" // registers every experiment
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run scaled-down experiments (~5x shorter)")
+	timeDiv := flag.Int("timediv", 0, "divide experiment durations by N (overrides -quick's 5x; 0 = off)")
 	seed := flag.Int64("seed", 1, "campaign base seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	jsonPath := flag.String("json", "", "write per-run records (params, timing, events/sec) to this file")
@@ -54,7 +55,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, name := range campaign.Names() {
@@ -96,7 +97,7 @@ func main() {
 		exit(2)
 	}
 
-	ctx := &campaign.Context{Quick: *quick, Seed: *seed, Jobs: *jobs}
+	ctx := &campaign.Context{Quick: *quick, TimeDiv: *timeDiv, Seed: *seed, Jobs: *jobs}
 	if *jsonPath != "" {
 		ctx.Collector = &campaign.Collector{}
 	}

@@ -1,7 +1,6 @@
 package aqm
 
 import (
-	"math"
 	"time"
 
 	"pi2/internal/packet"
@@ -38,6 +37,7 @@ type CoDel struct {
 	lastCount      int
 	dropping       bool
 	drops          int
+	invSqrt        float64 // cached 1/sqrt(count), Newton-refined
 }
 
 // NewCoDel builds a CoDel instance.
@@ -66,9 +66,42 @@ func (c *CoDel) UpdateInterval() time.Duration { return 0 }
 // Update implements AQM.
 func (c *CoDel) Update(QueueInfo, time.Duration) {}
 
-// controlLaw spaces drops at interval/sqrt(count).
+// controlLaw spaces drops at interval/sqrt(count), using the cached
+// Newton-refined inverse square root instead of a per-dequeue math.Sqrt.
 func (c *CoDel) controlLaw(t time.Duration) time.Duration {
-	return t + time.Duration(float64(c.cfg.Interval)/math.Sqrt(float64(c.count)))
+	return t + time.Duration(float64(c.cfg.Interval)*c.invSqrt)
+}
+
+// setCount sets the drop count and refreshes the cached inverse square
+// root incrementally, the way Linux sch_codel's codel_Newton_step does —
+// warm-started from the previous estimate instead of recomputing sqrt on
+// every state change. Unlike the kernel's single fixed-point step (up to
+// ~29% error right after a count reset), the refinement iterates to
+// convergence, so drop spacing tracks interval/sqrt(count) to float
+// precision at any count; consecutive counts converge in a step or two.
+func (c *CoDel) setCount(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.count = n
+	x := float64(n)
+	inv := c.invSqrt
+	// Newton for 1/sqrt diverges from a guess at or above sqrt(3/x);
+	// counts move by small steps so the warm start is always in the
+	// basin, but restart from below on first use (or any stale state).
+	if inv <= 0 || inv*inv*x >= 3 {
+		inv = 1 / x
+	}
+	prev := 0.0
+	for i := 0; i < 64; i++ {
+		next := inv * (1.5 - 0.5*x*inv*inv)
+		if next == inv || next == prev {
+			break // converged, or 1-ulp two-cycle around the root
+		}
+		prev = inv
+		inv = next
+	}
+	c.invSqrt = inv
 }
 
 // shouldDrop implements the "sojourn above target for a full interval" test.
@@ -94,7 +127,7 @@ func (c *CoDel) DequeueVerdict(p *packet.Packet, q QueueInfo, now time.Duration)
 		case !okToDrop:
 			c.dropping = false
 		case now >= c.dropNext:
-			c.count++
+			c.setCount(c.count + 1)
 			c.dropNext = c.controlLaw(c.dropNext)
 			return c.signal(p)
 		}
@@ -104,9 +137,9 @@ func (c *CoDel) DequeueVerdict(p *packet.Packet, q QueueInfo, now time.Duration)
 		c.dropping = true
 		// Resume at a higher rate if we were dropping recently.
 		if c.count > 2 && now-c.dropNext < 8*c.cfg.Interval {
-			c.count = c.count - 2
+			c.setCount(c.count - 2)
 		} else {
-			c.count = 1
+			c.setCount(1)
 		}
 		c.dropNext = c.controlLaw(now)
 		return c.signal(p)

@@ -1,0 +1,64 @@
+package aqm
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// spacing returns the drop spacing controlLaw would apply at the current
+// cached inverse square root, as a float for relative-error comparison.
+func (c *CoDel) spacing() float64 {
+	return float64(time.Duration(float64(c.cfg.Interval) * c.invSqrt))
+}
+
+// TestCoDelControlLawMatchesClosedForm walks the count up one drop at a
+// time — the way the dropping state machine does — and checks the cached
+// Newton estimate keeps the drop spacing within 2% of the closed form
+// interval/sqrt(count) all the way out to count = 10k. In practice the
+// warm-started iteration converges to float precision, so the observed
+// error is many orders of magnitude below the bound.
+func TestCoDelControlLawMatchesClosedForm(t *testing.T) {
+	c := NewCoDel(CoDelConfig{})
+	interval := float64(c.cfg.Interval)
+	for n := 1; n <= 10000; n++ {
+		c.setCount(n)
+		want := interval / math.Sqrt(float64(n))
+		got := c.spacing()
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Fatalf("count=%d: spacing %.6g vs closed form %.6g (rel err %.3g)", n, got, want, rel)
+		}
+	}
+}
+
+// TestCoDelControlLawAfterReentry exercises the count-2 re-entry path: a
+// dropping episode ends at a high count and restarts at count-2, so the
+// cached estimate must jump from 1/sqrt(n) to 1/sqrt(n-2) (and to 1/sqrt(1)
+// on a cold restart) without leaving the Newton basin.
+func TestCoDelControlLawAfterReentry(t *testing.T) {
+	c := NewCoDel(CoDelConfig{})
+	interval := float64(c.cfg.Interval)
+	check := func(n int) {
+		t.Helper()
+		want := interval / math.Sqrt(float64(n))
+		got := c.spacing()
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Fatalf("count=%d: spacing %.6g vs closed form %.6g (rel err %.3g)", n, got, want, rel)
+		}
+	}
+	for _, n := range []int{1, 2, 3, 400, 10000} {
+		c.setCount(n)
+		check(n)
+		if n > 2 {
+			c.setCount(n - 2) // warm re-entry
+			check(n - 2)
+		}
+		c.setCount(1) // cold restart
+		check(1)
+		c.setCount(n) // jump back up from 1
+		check(n)
+	}
+	// setCount clamps below 1 (count-2 with count <= 2).
+	c.setCount(-1)
+	check(1)
+}

@@ -99,8 +99,10 @@ type DualLink struct {
 
 	core aqm.PICore
 
-	// Statistics, split per queue.
-	LSojourn, CSojourn stats.Sample // seconds
+	// Statistics, split per queue. Exact samples by default; the heavy
+	// many-flow tier swaps in constant-memory histograms (assign before
+	// the first enqueue).
+	LSojourn, CSojourn stats.Quantiler // seconds
 	drops              int
 	lMarks, cMarks     int
 	busySince          time.Duration
@@ -111,11 +113,13 @@ type DualLink struct {
 func NewDualLink(s *sim.Simulator, rateBps float64, cfg DualConfig, deliver func(*packet.Packet)) *DualLink {
 	cfg.setDefaults()
 	d := &DualLink{
-		sim:     s,
-		cfg:     cfg,
-		rng:     s.RNG(),
-		rate:    rateBps,
-		deliver: deliver,
+		sim:      s,
+		cfg:      cfg,
+		rng:      s.RNG(),
+		rate:     rateBps,
+		deliver:  deliver,
+		LSojourn: &stats.Sample{},
+		CSojourn: &stats.Sample{},
 	}
 	d.core = aqm.PICore{
 		Alpha:  cfg.Alpha,

@@ -159,24 +159,30 @@ func (s *sampleLike) Mean() float64 {
 	return sum / float64(len(s.xs))
 }
 
-func (s *sampleLike) Percentile(q float64) float64 {
+// Percentiles satisfies the quantiles() helper with one sort for the whole
+// family. Insertion sort: the slices here hold at most ten flows.
+func (s *sampleLike) Percentiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
 	if len(s.xs) == 0 {
-		return 0
+		return out
 	}
-	// Insertion sort: the slices here hold at most ten flows.
 	xs := append([]float64(nil), s.xs...)
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
 			xs[j-1], xs[j] = xs[j], xs[j-1]
 		}
 	}
-	pos := q / 100 * float64(len(xs)-1)
-	lo := int(pos)
-	if lo >= len(xs)-1 {
-		return xs[len(xs)-1]
+	for i, q := range qs {
+		pos := q / 100 * float64(len(xs)-1)
+		lo := int(pos)
+		if lo >= len(xs)-1 {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = xs[lo]*(1-frac) + xs[lo+1]*frac
 	}
-	frac := pos - float64(lo)
-	return xs[lo]*(1-frac) + xs[lo+1]*frac
+	return out
 }
 
 // PrintFig19 writes the per-flow rate-ratio table (Figure 19).

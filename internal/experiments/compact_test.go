@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"pi2/internal/stats"
+	"pi2/internal/traffic"
+)
+
+// TestCompactMetricsDoesNotPerturbSimulation runs the same scenario twice,
+// once with exact collectors and once with constant-memory histograms. The
+// collectors are pure observers: the event count and every simulation-side
+// outcome (rates, drops, marks) must be bit-identical, and the summarized
+// distributions must agree within the histogram's bin resolution.
+func TestCompactMetricsDoesNotPerturbSimulation(t *testing.T) {
+	base := Scenario{
+		Seed:        99,
+		LinkRateBps: 20e6,
+		NewAQM:      PI2Factory(20 * time.Millisecond),
+		Bulk: []traffic.BulkFlowSpec{
+			{CC: "cubic", Count: 2, RTT: 10 * time.Millisecond, Label: "A"},
+			{CC: "dctcp", Count: 2, RTT: 10 * time.Millisecond, Label: "B"},
+		},
+		Web:      []traffic.WebSpec{{ArrivalRate: 5, CC: "reno", RTT: 10 * time.Millisecond}},
+		Duration: 8 * time.Second,
+		WarmUp:   3 * time.Second,
+	}
+	exact := Run(base)
+
+	compact := base
+	compact.CompactMetrics = true
+	approx := Run(compact)
+
+	if exact.Events != approx.Events {
+		t.Fatalf("event counts diverge: exact %d vs compact %d — collectors perturbed the simulation", exact.Events, approx.Events)
+	}
+	if exact.DropsAQM != approx.DropsAQM || exact.Marks != approx.Marks {
+		t.Errorf("drops/marks diverge: %d/%d vs %d/%d", exact.DropsAQM, exact.Marks, approx.DropsAQM, approx.Marks)
+	}
+	for i := range exact.Groups {
+		if exact.Groups[i].MeanPerFlow() != approx.Groups[i].MeanPerFlow() {
+			t.Errorf("group %s rate diverges: %g vs %g",
+				exact.Groups[i].Label, exact.Groups[i].MeanPerFlow(), approx.Groups[i].MeanPerFlow())
+		}
+	}
+	if _, ok := approx.Sojourn.(*stats.LogHistogram); !ok {
+		t.Fatalf("CompactMetrics Sojourn is %T, want *stats.LogHistogram", approx.Sojourn)
+	}
+
+	check := func(name string, a, b stats.Quantiler) {
+		t.Helper()
+		if a.N() != b.N() {
+			t.Errorf("%s: sample counts diverge: %d vs %d", name, a.N(), b.N())
+			return
+		}
+		n := a.N()
+		if n == 0 {
+			return
+		}
+		xs := a.(*stats.Sample).Values()
+		sort.Float64s(xs)
+		for _, q := range []float64{50, 99} {
+			h := b.Percentile(q)
+			// The two collectors interpolate ranks differently, which at
+			// small N moves the reference by a whole order statistic. The
+			// histogram's own contract is its bin width: its value must be
+			// within 2% (+1 µs underflow floor) of one of the exact order
+			// statistics bracketing the target rank.
+			lo := int(q/100*float64(n-1)) - 1
+			hi := int(math.Ceil(q/100*float64(n))) + 1
+			ok := false
+			for r := max(lo, 0); r <= min(hi, n-1); r++ {
+				if math.Abs(h-xs[r]) <= 0.02*math.Abs(xs[r])+1e-6 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s p%.0f: compact %g not within 2%% of exact order statistics %v",
+					name, q, h, xs[max(lo, 0):min(hi, n-1)+1])
+			}
+		}
+		if e, h := a.Mean(), b.Mean(); math.Abs(h-e) > 1e-9*math.Abs(e)+1e-12 {
+			t.Errorf("%s mean: exact %g vs compact %g (mean is tracked exactly)", name, e, h)
+		}
+	}
+	check("sojourn", exact.Sojourn, approx.Sojourn)
+	check("classic_prob", exact.ClassicProb, approx.ClassicProb)
+	check("scalable_prob", exact.ScalableProb, approx.ScalableProb)
+	check("util", exact.UtilSeries, approx.UtilSeries)
+	check("web_fct", exact.WebFCT, approx.WebFCT)
+}

@@ -96,7 +96,7 @@ func dualQSingleArm(o Options, seed int64, na, nb int) dualArm {
 	}
 	sc.Bulk = append(sc.Bulk, bulkPair(na, nb, rtt)...)
 	r := Run(sc)
-	q := scaleQ(quantiles(&r.Sojourn), 1e3)
+	q := scaleQ(quantiles(r.Sojourn), 1e3)
 	return dualArm{
 		Ratio:    perFlowRatio(r),
 		Jain:     jainOf(r),
@@ -140,8 +140,8 @@ func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
 		for _, ep := range append(append([]*tcp.Endpoint{}, cubics...), dctcps...) {
 			ep.Goodput.Reset(now)
 		}
-		dual.LSojourn = stats.Sample{}
-		dual.CSojourn = stats.Sample{}
+		dual.LSojourn.Reset()
+		dual.CSojourn.Reset()
 	})
 	s.RunUntil(dur)
 	now := s.Now()
@@ -156,8 +156,8 @@ func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
 		return sum / float64(len(eps))
 	}
 	arm := dualArm{
-		LDelayMs: scaleQ(quantiles(&dual.LSojourn), 1e3),
-		CDelayMs: scaleQ(quantiles(&dual.CSojourn), 1e3),
+		LDelayMs: scaleQ(quantiles(dual.LSojourn), 1e3),
+		CDelayMs: scaleQ(quantiles(dual.CSojourn), 1e3),
 		Util:     dual.Utilization(),
 	}
 	if d := mean(dctcps); d > 0 {

@@ -68,7 +68,7 @@ func resultOf(rec campaign.RunRecord) *Result {
 	if r, ok := rec.Result.(*Result); ok && r != nil {
 		return r
 	}
-	return &Result{}
+	return emptyResult()
 }
 
 // Fig6Result holds the Figure 6 comparison: plain PI vs PI2 queue delay
@@ -375,9 +375,11 @@ func (r *Fig14Result) Print(w io.Writer) {
 	for _, c := range r.Cases {
 		fmt.Fprintf(w, "\n## target %v, load %s\n", c.Target, c.Load)
 		fmt.Fprintln(w, "percentile\tpie_qdelay_ms\tpi2_qdelay_ms")
-		for _, q := range []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9} {
-			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\n", q,
-				c.PIE.Sojourn.Percentile(q)*1e3, c.PI2.Sojourn.Percentile(q)*1e3)
+		qs := []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9}
+		pie := c.PIE.Sojourn.Percentiles(qs...)
+		pi2 := c.PI2.Sojourn.Percentiles(qs...)
+		for i, q := range qs {
+			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\n", q, pie[i]*1e3, pi2[i]*1e3)
 		}
 	}
 }

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pi2/internal/campaign"
+	"pi2/internal/core"
+	"pi2/internal/link"
+	"pi2/internal/sim"
+	"pi2/internal/stats"
+	"pi2/internal/tcp"
+	"pi2/internal/traffic"
+)
+
+// The heavy tier stresses flow-count scaling rather than the paper's grid:
+// the per-flow regime is held constant (fair share and RTT fixed) while the
+// flow population grows by orders of magnitude, so the sweep isolates how
+// the AQMs — and the simulator itself — behave as state scales. All cells
+// run with CompactMetrics (constant-memory histogram collectors): at 5k
+// flows an exact per-packet sample would grow without bound.
+const (
+	heavyPerFlowBps = 2e6
+	heavyRTT        = 10 * time.Millisecond
+)
+
+// HeavyFlowCounts is the flow-count axis of the heavy scaling tier.
+var HeavyFlowCounts = []int{10, 100, 1000, 5000}
+
+// HeavyAQMs are the bottleneck disciplines compared at each flow count.
+var HeavyAQMs = []string{"pie", "pi2", "dualpi2"}
+
+// HeavyPoint is one cell of the flow-count scaling sweep: N flows (even
+// reno/cubic/dctcp thirds) through one AQM at a link sized to keep the fair
+// share at heavyPerFlowBps.
+type HeavyPoint struct {
+	Flows int
+	AQM   string
+
+	// Jain is Jain's fairness index over all per-flow rates.
+	Jain float64
+	// QMeanMs / QP99Ms summarize per-packet queuing delay (histogram).
+	QMeanMs, QP99Ms float64
+	// Util is the bottleneck's busy fraction.
+	Util float64
+
+	// Simulator-throughput metrics for the scaling story.
+	Events       uint64
+	WallMs       float64
+	EventsPerSec float64
+	// SimSecPerWallSec is simulated seconds per wall-clock second.
+	SimSecPerWallSec float64
+}
+
+// EventCount satisfies campaign.EventCounter for per-run events/sec records.
+func (p HeavyPoint) EventCount() uint64 { return p.Events }
+
+// Metrics implements campaign.MetricsReporter for one heavy cell. Wall-time
+// metrics (WallMs, EventsPerSec, SimSecPerWallSec) are reported in the
+// printed table only: they depend on the host, not the simulation.
+func (p HeavyPoint) Metrics() map[string]float64 {
+	return map[string]float64{
+		"flows":     float64(p.Flows),
+		"jain":      p.Jain,
+		"q_mean_ms": p.QMeanMs,
+		"q_p99_ms":  p.QP99Ms,
+		"util":      p.Util,
+		"events":    float64(p.Events),
+	}
+}
+
+// heavyMix splits n flows into near-even reno/cubic/dctcp thirds.
+func heavyMix(n int) (reno, cubic, dctcp int) {
+	reno = n / 3
+	cubic = n / 3
+	dctcp = n - reno - cubic
+	return
+}
+
+// Heavy runs the flow-count scaling sweep: each count in HeavyFlowCounts
+// through PIE, PI2 and DualPI2. Cells fan out across o.Jobs workers; a
+// non-nil error names every failed cell (so a CI smoke run exits nonzero)
+// while the returned points still cover the cells that completed.
+func Heavy(o Options) ([]HeavyPoint, error) {
+	counts := HeavyFlowCounts
+	if o.Quick {
+		counts = []int{10, 100}
+	}
+	var tasks []campaign.Task
+	for _, aqmName := range HeavyAQMs {
+		for _, n := range counts {
+			aqmName, n := aqmName, n
+			tasks = append(tasks, campaign.Task{
+				Name:      "heavy",
+				SeedIndex: len(tasks),
+				Params:    map[string]any{"aqm": aqmName, "flows": n},
+				Run: func(seed int64) any {
+					if aqmName == "dualpi2" {
+						return runHeavyDual(o, seed, n)
+					}
+					return runHeavyCell(o, seed, n, aqmName)
+				},
+			})
+		}
+	}
+	recs := campaign.Execute(tasks, o.exec())
+	var out []HeavyPoint
+	var failed []string
+	for _, rec := range recs {
+		if rec.Err != "" {
+			failed = append(failed, fmt.Sprintf("%s/%v flows=%v: %s",
+				rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Err))
+			continue
+		}
+		p, ok := rec.Result.(HeavyPoint)
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s/%v flows=%v: no result",
+				rec.Name, rec.Params["aqm"], rec.Params["flows"]))
+			continue
+		}
+		p.WallMs = rec.WallMs
+		p.EventsPerSec = rec.EventsPerSec
+		if rec.WallMs > 0 {
+			p.SimSecPerWallSec = heavyDuration(o).Seconds() / (rec.WallMs / 1e3)
+		}
+		out = append(out, p)
+	}
+	if len(failed) > 0 {
+		return out, errors.New("heavy cells failed: " + fmt.Sprint(failed))
+	}
+	return out, nil
+}
+
+func heavyDuration(o Options) time.Duration {
+	return o.scale(20 * time.Second)
+}
+
+// runHeavyCell is a single-queue cell (PIE or PI2) through the standard
+// scenario runner with compact collectors.
+func runHeavyCell(o Options, seed int64, n int, aqmName string) HeavyPoint {
+	target := 20 * time.Millisecond
+	factory, ok := FactoryByName(aqmName, target)
+	if !ok {
+		panic("unknown AQM " + aqmName)
+	}
+	dur := heavyDuration(o)
+	reno, cubic, dctcp := heavyMix(n)
+	sc := Scenario{
+		Seed:           seed,
+		LinkRateBps:    heavyPerFlowBps * float64(n),
+		NewAQM:         factory,
+		CompactMetrics: true,
+		Bulk: []traffic.BulkFlowSpec{
+			{CC: "reno", Count: reno, RTT: heavyRTT, Label: "reno"},
+			{CC: "cubic", Count: cubic, RTT: heavyRTT, Label: "cubic"},
+			{CC: "dctcp", Count: dctcp, RTT: heavyRTT, Label: "dctcp"},
+		},
+		Duration: dur,
+		WarmUp:   dur * 2 / 5,
+	}
+	r := Run(sc)
+	return HeavyPoint{
+		Flows:   n,
+		AQM:     aqmName,
+		Jain:    jainOf(r),
+		QMeanMs: r.Sojourn.Mean() * 1e3,
+		QP99Ms:  r.Sojourn.Percentile(99) * 1e3,
+		Util:    r.Utilization,
+		Events:  r.Events,
+	}
+}
+
+// runHeavyDual is the DualPI2 cell: hand-wired around core.DualLink (the
+// scenario runner drives single-queue links only), with both per-queue
+// sojourn collectors pointed at one shared histogram so the cell reports a
+// combined queue-delay distribution in constant memory.
+func runHeavyDual(o Options, seed int64, n int) HeavyPoint {
+	dur := heavyDuration(o)
+	warm := dur * 2 / 5
+	reno, cubic, dctcp := heavyMix(n)
+
+	s := sim.New(seed)
+	d := link.NewDispatcher()
+	dual := core.NewDualLink(s, heavyPerFlowBps*float64(n), core.DualConfig{}, d.Deliver)
+	soj := stats.NewDelayHistogram()
+	dual.LSojourn = soj
+	dual.CSojourn = soj
+
+	flows := make([]*tcp.Endpoint, 0, n)
+	id := 1
+	mk := func(cc tcp.CongestionControl, mode tcp.ECNMode) {
+		ep := tcp.NewWithEnqueuer(s, dual.Enqueue, tcp.Config{
+			ID: id, CC: cc, ECN: mode, BaseRTT: heavyRTT,
+		})
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+		id++
+		flows = append(flows, ep)
+	}
+	for i := 0; i < reno; i++ {
+		mk(&tcp.Reno{}, tcp.ECNOff)
+	}
+	for i := 0; i < cubic; i++ {
+		mk(&tcp.Cubic{}, tcp.ECNOff)
+	}
+	for i := 0; i < dctcp; i++ {
+		mk(&tcp.DCTCP{}, tcp.ECNScalable)
+	}
+	s.At(warm, func() {
+		now := s.Now()
+		for _, ep := range flows {
+			ep.Goodput.Reset(now)
+		}
+		soj.Reset()
+	})
+	s.RunUntil(dur)
+	now := s.Now()
+	rates := make([]float64, 0, len(flows))
+	for _, ep := range flows {
+		rates = append(rates, ep.Goodput.RateBps(now))
+	}
+	return HeavyPoint{
+		Flows:   n,
+		AQM:     "dualpi2",
+		Jain:    stats.JainIndex(rates),
+		QMeanMs: soj.Mean() * 1e3,
+		QP99Ms:  soj.Percentile(99) * 1e3,
+		Util:    dual.Utilization(),
+		Events:  s.Processed(),
+	}
+}
+
+// PrintHeavy writes the scaling table. Only simulation-derived columns
+// appear here: experiment stdout must stay byte-identical for any -jobs
+// value, so host-dependent wall-clock figures go to PrintHeavyPerf instead.
+func PrintHeavy(w io.Writer, pts []HeavyPoint) {
+	fmt.Fprintln(w, "# Heavy tier: flow-count scaling, even reno/cubic/dctcp mix,")
+	fmt.Fprintf(w, "# fair share %.0f Mb/s per flow, RTT %d ms; compact (histogram) collectors\n",
+		heavyPerFlowBps/1e6, heavyRTT.Milliseconds())
+	fmt.Fprintln(w, "aqm\tflows\tjain\tq_mean_ms\tq_p99_ms\tutil\tevents")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.2f\t%.2f\t%.3f\t%d\n",
+			p.AQM, p.Flows, p.Jain, p.QMeanMs, p.QP99Ms, p.Util, p.Events)
+	}
+}
+
+// PrintHeavyPerf writes the simulator-throughput block (per-cell wall time
+// and events/sec) plus a process-heap footer from runtime.ReadMemStats.
+// These depend on the host and GC timing, not the simulation, so they are
+// kept off experiment stdout (the registry sends them to stderr) and out of
+// Metrics().
+func PrintHeavyPerf(w io.Writer, pts []HeavyPoint) {
+	fmt.Fprintln(w, "# simulator throughput (host-dependent, informational)")
+	fmt.Fprintln(w, "aqm\tflows\twall_s\tevents_per_sec\tsim_s_per_wall_s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.3g\t%.3g\n",
+			p.AQM, p.Flows, p.WallMs/1e3, p.EventsPerSec, p.SimSecPerWallSec)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# heap: alloc=%.1f MiB sys=%.1f MiB (process-wide)\n",
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.Sys)/(1<<20))
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"pi2/internal/campaign"
 	"pi2/internal/fluid"
@@ -149,6 +150,19 @@ func init() {
 		Run: printer(func(ctx *campaign.Context, w io.Writer) {
 			PrintArrangements(w, memoDualQ(ctx), FQArrangement(opts(ctx), 1, 1))
 		}),
+	})
+	// The heavy tier stays out of "all" (and hence the golden set): its big
+	// cells take minutes. The table on stdout is seed-deterministic like every
+	// other experiment; host-dependent throughput figures go to stderr.
+	campaign.Register(campaign.Experiment{
+		Name: "heavy", Desc: "flow-count scaling tier: 10-5000 flows, PIE/PI2/DualPI2 (extension)",
+		Run: func(ctx *campaign.Context, w io.Writer) error {
+			pts, err := Heavy(opts(ctx))
+			PrintHeavy(w, pts)
+			fmt.Fprintln(w)
+			PrintHeavyPerf(os.Stderr, pts)
+			return err
+		},
 	})
 }
 

@@ -67,6 +67,15 @@ type Scenario struct {
 	// AckEvery sets the delayed/stretch-ACK factor on every bulk flow
 	// (0/1 = acknowledge each segment).
 	AckEvery int
+	// CompactMetrics switches every distribution collector in the Result
+	// (queue sojourn, probability and utilization samples, web FCT) from
+	// the exact per-observation stats.Sample to the constant-memory
+	// stats.LogHistogram. The exact collector stores one float64 per
+	// forwarded packet, so memory grows with sim-time × flow-count; the
+	// histogram is fixed-size (~2% percentile error) and makes multi-minute
+	// runs with thousands of flows feasible. Existing experiments leave it
+	// off so golden fingerprints stay byte-identical.
+	CompactMetrics bool
 }
 
 // GroupResult summarizes one bulk-flow group after the run.
@@ -127,14 +136,16 @@ type Result struct {
 	// GoodputSeries is total TCP goodput (bits/s) at SampleEvery.
 	GoodputSeries stats.TimeSeries
 	// Sojourn is the per-packet queuing delay (seconds) over the
-	// measurement window — the paper's Figure 14/16 metric.
-	Sojourn stats.Sample
+	// measurement window — the paper's Figure 14/16 metric. This and the
+	// other Quantiler fields hold exact stats.Sample collectors by
+	// default, or constant-memory histograms under CompactMetrics.
+	Sojourn stats.Quantiler
 	// ClassicProb and ScalableProb sample the AQM's probabilities every
 	// 100 ms over the measurement window (Figure 17).
-	ClassicProb, ScalableProb stats.Sample
+	ClassicProb, ScalableProb stats.Quantiler
 	// UtilSeries samples link utilization per SampleEvery interval over
 	// the measurement window (Figure 18's P1/mean/P99).
-	UtilSeries stats.Sample
+	UtilSeries stats.Quantiler
 	// Utilization is the mean over the measurement window.
 	Utilization float64
 	// Groups reports per-group flow rates in Scenario order (staged and
@@ -143,7 +154,7 @@ type Result struct {
 	// DropsAQM, DropsOverflow, Marks count the whole-run totals.
 	DropsAQM, DropsOverflow, Marks int
 	// WebFCT aggregates web-workload flow completion times (seconds).
-	WebFCT stats.Sample
+	WebFCT stats.Quantiler
 	// UDP reports per-source delivered/lost bytes in Scenario order.
 	UDP []UDPResult
 	// Events is the number of simulator events processed (bench metric).
@@ -153,6 +164,27 @@ type Result struct {
 // EventCount reports the processed-event total; it satisfies
 // campaign.EventCounter so the engine can attribute events/sec to each run.
 func (r *Result) EventCount() uint64 { return r.Events }
+
+// newQuantiler picks the collector family for one Result distribution.
+func newQuantiler(compact bool) stats.Quantiler {
+	if compact {
+		return stats.NewDelayHistogram()
+	}
+	return &stats.Sample{}
+}
+
+// emptyResult returns a Result whose collectors are empty exact samples, so
+// consumers of a failed (panicked) cell print zeros instead of hitting nil
+// Quantiler interfaces.
+func emptyResult() *Result {
+	return &Result{
+		Sojourn:      &stats.Sample{},
+		ClassicProb:  &stats.Sample{},
+		ScalableProb: &stats.Sample{},
+		UtilSeries:   &stats.Sample{},
+		WebFCT:       &stats.Sample{},
+	}
+}
 
 // Run executes a scenario to completion.
 func Run(sc Scenario) *Result {
@@ -165,12 +197,17 @@ func Run(sc Scenario) *Result {
 		RateBps:       sc.LinkRateBps,
 		BufferPackets: sc.BufferPackets,
 		AQM:           sc.NewAQM(s.RNG()),
+		Sojourn:       newQuantiler(sc.CompactMetrics),
 	}, d.Deliver)
 
 	res := &Result{
 		DelaySeries:   stats.TimeSeries{Interval: sc.SampleEvery},
 		DelayFine:     stats.TimeSeries{Interval: 100 * time.Millisecond},
 		GoodputSeries: stats.TimeSeries{Interval: sc.SampleEvery},
+		ClassicProb:   newQuantiler(sc.CompactMetrics),
+		ScalableProb:  newQuantiler(sc.CompactMetrics),
+		UtilSeries:    newQuantiler(sc.CompactMetrics),
+		WebFCT:        newQuantiler(sc.CompactMetrics),
 	}
 
 	nextID := 1
@@ -198,26 +235,37 @@ func Run(sc Scenario) *Result {
 	}
 	var webs []*traffic.WebWorkload
 	for _, spec := range sc.Web {
-		webs = append(webs, traffic.StartWeb(s, l, d, &nextID, spec))
+		w := traffic.StartWeb(s, l, d, &nextID, spec)
+		if sc.CompactMetrics {
+			// Short flows complete directly into the shared histogram;
+			// no per-flow sample storage, no merge at collection time.
+			w.FCT = res.WebFCT
+		}
+		webs = append(webs, w)
 	}
 	for _, rc := range sc.RateChanges {
 		rate := rc.RateBps
 		s.At(rc.At, func() { l.SetRateBps(rate) })
 	}
 
-	allFlows := func() []*tcp.Endpoint {
-		var eps []*tcp.Endpoint
-		for _, g := range groups {
-			eps = append(eps, g.Flows...)
-		}
-		return append(eps, staged...)
+	// Every long-lived flow, flattened once: the samplers below run every
+	// SampleEvery tick, and rebuilding this slice per tick was an
+	// O(flows) allocation that dominated at thousand-flow scale.
+	nFlows := len(staged)
+	for _, g := range groups {
+		nFlows += len(g.Flows)
 	}
+	flows := make([]*tcp.Endpoint, 0, nFlows)
+	for _, g := range groups {
+		flows = append(flows, g.Flows...)
+	}
+	flows = append(flows, staged...)
 
 	// Warm-up boundary: restart every steady-state statistic.
 	s.At(sc.WarmUp, func() {
 		l.ResetStats()
 		now := s.Now()
-		for _, f := range allFlows() {
+		for _, f := range flows {
 			f.Goodput.Reset(now)
 		}
 		for _, u := range udps {
@@ -231,7 +279,7 @@ func Run(sc Scenario) *Result {
 		now := s.Now()
 		res.DelaySeries.Record(now, l.QueueDelayNow().Seconds())
 		var total int64
-		for _, f := range allFlows() {
+		for _, f := range flows {
 			total += f.Goodput.Bytes()
 		}
 		rate := float64(total-lastGoodput) * 8 / sc.SampleEvery.Seconds()
@@ -281,7 +329,8 @@ func Run(sc Scenario) *Result {
 		if label == "" {
 			label = g.Spec.CC
 		}
-		gr := GroupResult{Label: label, CC: g.Spec.CC}
+		gr := GroupResult{Label: label, CC: g.Spec.CC,
+			FlowRates: make([]float64, 0, len(g.Flows))}
 		for _, f := range g.Flows {
 			gr.FlowRates = append(gr.FlowRates, f.Goodput.RateBps(now))
 			gr.Marks += f.MarksSeen()
@@ -290,8 +339,12 @@ func Run(sc Scenario) *Result {
 		}
 		res.Groups = append(res.Groups, gr)
 	}
-	for _, w := range webs {
-		res.WebFCT.Merge(&w.FCT)
+	if !sc.CompactMetrics {
+		// Exact path: workloads collected separately; merge in Scenario
+		// order so the Add sequence — and golden fingerprints — are stable.
+		for _, w := range webs {
+			res.WebFCT.(*stats.Sample).Merge(w.FCT.(*stats.Sample))
+		}
 	}
 	for _, u := range udps {
 		ur := UDPResult{

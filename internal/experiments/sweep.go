@@ -127,26 +127,25 @@ func runSweepPoint(o Options, seed int64, linkMbps float64, rtt time.Duration, a
 	if pt.RateB > 0 {
 		pt.Ratio = pt.RateA / pt.RateB
 	}
-	pt.ProbA = quantiles(&res.ClassicProb)
+	pt.ProbA = quantiles(res.ClassicProb)
 	if res.ScalableProb.N() > 0 {
-		pt.ProbB = quantiles(&res.ScalableProb)
+		pt.ProbB = quantiles(res.ScalableProb)
 	} else {
 		pt.ProbB = pt.ProbA
 	}
-	pt.Util = quantiles(&res.UtilSeries)
+	pt.Util = quantiles(res.UtilSeries)
 	return pt
 }
 
+// quantiles summarizes a collector into the figures' P1/P25/mean/P99 shape.
+// Percentiles evaluates the whole family in one pass (a single sort for the
+// exact Sample), instead of one copy-and-sort per quantile.
 func quantiles(s interface {
-	Percentile(float64) float64
+	Percentiles(qs ...float64) []float64
 	Mean() float64
 }) Quantiles {
-	return Quantiles{
-		P1:   s.Percentile(1),
-		P25:  s.Percentile(25),
-		Mean: s.Mean(),
-		P99:  s.Percentile(99),
-	}
+	v := s.Percentiles(1, 25, 99)
+	return Quantiles{P1: v[0], P25: v[1], Mean: s.Mean(), P99: v[2]}
 }
 
 // PrintFig15 writes the rate-balance table (Figure 15).

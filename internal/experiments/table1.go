@@ -73,7 +73,7 @@ func FigFCT(o Options) *FCTResult {
 	res := &FCTResult{ByAQM: make(map[string]Quantiles), Flows: make(map[string]int)}
 	for i, name := range fctAQMs {
 		r := resultOf(recs[i])
-		res.ByAQM[name] = quantiles(&r.WebFCT)
+		res.ByAQM[name] = quantiles(r.WebFCT)
 		res.Flows[name] = r.WebFCT.N()
 	}
 	return res

@@ -35,6 +35,10 @@ type Config struct {
 	BufferPackets int
 	// AQM manages the queue; nil means pure tail-drop.
 	AQM aqm.AQM
+	// Sojourn, if set, collects the per-packet queuing delay; nil uses the
+	// exact stats.Sample. The heavy many-flow tier passes a constant-memory
+	// stats.LogHistogram so metrics memory stays bounded at any run length.
+	Sojourn stats.Quantiler
 }
 
 // Link is the bottleneck queue + transmitter.
@@ -63,7 +67,7 @@ type Link struct {
 	pool *packet.Pool
 
 	// Statistics.
-	Sojourn    stats.Sample // per-packet queuing delay, seconds
+	Sojourn    stats.Quantiler // per-packet queuing delay, seconds
 	Delivered  stats.RateMeter
 	drops      map[DropReason]int
 	marks      int
@@ -93,6 +97,10 @@ func New(s *sim.Simulator, cfg Config, deliver func(*packet.Packet)) *Link {
 	if a == nil {
 		a = aqm.TailDrop{}
 	}
+	soj := cfg.Sojourn
+	if soj == nil {
+		soj = &stats.Sample{}
+	}
 	l := &Link{
 		sim:     s,
 		cfg:     cfg,
@@ -101,6 +109,7 @@ func New(s *sim.Simulator, cfg Config, deliver func(*packet.Packet)) *Link {
 		deliver: deliver,
 		drops:   make(map[DropReason]int),
 		pool:    s.PacketPool(),
+		Sojourn: soj,
 	}
 	l.txDoneFn = l.txDone
 	if iv := a.UpdateInterval(); iv > 0 {
@@ -298,7 +307,7 @@ func (l *Link) Utilization() float64 {
 // from steady-state statistics (they still appear in time series).
 func (l *Link) ResetStats() {
 	now := l.sim.Now()
-	l.Sojourn = stats.Sample{}
+	l.Sojourn.Reset()
 	l.Delivered.Reset(now)
 	l.drops = make(map[DropReason]int)
 	l.marks = 0

@@ -89,6 +89,29 @@ func (s *Sample) Percentile(q float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
+// Percentiles evaluates many percentiles with a single sort (Percentile
+// alone also sorts lazily, but grouping the quantile family documents and
+// guarantees the one-sort cost for reporting helpers).
+func (s *Sample) Percentiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(s.xs) == 0 {
+		return out
+	}
+	s.sort()
+	for i, q := range qs {
+		out[i] = s.Percentile(q)
+	}
+	return out
+}
+
+// Reset discards every observation but keeps the backing array, so
+// warm-up boundaries don't reallocate collectors mid-run.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.w = Welford{}
+}
+
 // Min returns the smallest observation (0 if empty).
 func (s *Sample) Min() float64 { return s.Percentile(0) }
 

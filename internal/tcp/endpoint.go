@@ -135,8 +135,10 @@ type Endpoint struct {
 	delAck       sim.Timer
 
 	// Statistics.
-	Goodput          stats.RateMeter // in-order payload bytes delivered
-	RTTSamples       stats.Sample    // seconds
+	Goodput    stats.RateMeter // in-order payload bytes delivered
+	RTTSamples stats.Welford   // seconds; streaming — one Sample per
+	// flow would grow by one float64 per ACK, O(flows · sim-time) at
+	// thousand-flow scale (no consumer needed raw RTT percentiles)
 	retransmissions  int
 	congestionEvents int
 	rtoCount         int
@@ -605,10 +607,19 @@ func (e *Endpoint) receiveData(p *packet.Packet) {
 	case inOrder:
 		e.rcvNxt++
 		e.Goodput.Add(p.PayloadLen)
-		for len(e.oooSorted) > 0 && e.oooSorted[0] == e.rcvNxt {
-			e.oooSorted = e.oooSorted[1:]
+		// Consume the now-in-order prefix, then compact by copying down:
+		// reslicing the front (oooSorted[1:]) would slide the capacity
+		// window forward and force insertOOO to reallocate on every
+		// recovery episode.
+		k := 0
+		for k < len(e.oooSorted) && e.oooSorted[k] == e.rcvNxt {
+			k++
 			e.rcvNxt++
 			e.Goodput.Add(packet.MSS)
+		}
+		if k > 0 {
+			n := copy(e.oooSorted, e.oooSorted[k:])
+			e.oooSorted = e.oooSorted[:n]
 		}
 	case p.Seq > e.rcvNxt:
 		e.insertOOO(p.Seq)

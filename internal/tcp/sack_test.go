@@ -226,7 +226,7 @@ func TestDelayedAckReducesAckLoad(t *testing.T) {
 		// distinct ACKs that advanced the window.
 		ep.Start()
 		s.RunUntil(5 * time.Second)
-		acks = ep.RTTSamples.N()
+		acks = int(ep.RTTSamples.N())
 		return acks
 	}
 	every1 := count(1)

@@ -114,7 +114,7 @@ func (g *BulkGroup) Goodput(now time.Duration) float64 {
 // Flow IDs are assigned sequentially from firstID; the next free ID is
 // returned.
 func StartBulk(s *sim.Simulator, l *link.Link, d *link.Dispatcher, firstID int, spec BulkFlowSpec) (*BulkGroup, int) {
-	g := &BulkGroup{Spec: spec}
+	g := &BulkGroup{Spec: spec, Flows: make([]*tcp.Endpoint, 0, spec.Count)}
 	id := firstID
 	for i := 0; i < spec.Count; i++ {
 		cc, mode, err := tcp.NewCC(spec.CC)
@@ -210,8 +210,10 @@ type WebSpec struct {
 // WebWorkload generates short flows and records their completion times.
 type WebWorkload struct {
 	Spec WebSpec
-	// FCT collects flow completion times in seconds.
-	FCT stats.Sample
+	// FCT collects flow completion times in seconds. StartWeb installs an
+	// exact stats.Sample; the runner may swap in a shared constant-memory
+	// collector (before any flow completes) for heavy-scale runs.
+	FCT stats.Quantiler
 	// Started and Finished count generated/completed flows.
 	Started, Finished int
 
@@ -233,7 +235,7 @@ func StartWeb(s *sim.Simulator, l *link.Link, d *link.Dispatcher, nextID *int, s
 	if spec.MaxSegs == 0 {
 		spec.MaxSegs = 2000
 	}
-	w := &WebWorkload{Spec: spec, s: s, l: l, d: d, nextID: nextID}
+	w := &WebWorkload{Spec: spec, FCT: &stats.Sample{}, s: s, l: l, d: d, nextID: nextID}
 	rng := s.RNG()
 	var arrive func()
 	arrive = func() {
