@@ -774,9 +774,9 @@ func BenchmarkCampaignParallel(b *testing.B) {
 				tasks = append(tasks, campaign.Task{
 					Name:      "bench-cell",
 					SeedIndex: len(tasks),
-					Run: func(seed int64) any {
+					Run: func(tc *campaign.TaskCtx) any {
 						return experiments.Run(experiments.Scenario{
-							Seed:        seed,
+							Seed:        tc.Seed,
 							LinkRateBps: linkMbps * 1e6,
 							NewAQM: func(rng *rand.Rand) aqm.AQM {
 								return core.New(core.Config{}, rng)

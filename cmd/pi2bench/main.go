@@ -15,6 +15,11 @@
 // in its matrix, never from scheduling order. -json additionally writes
 // every run's record (params, wall time, events/sec) to a file.
 //
+// -cell-timeout and -cell-stall arm a per-cell watchdog (wall-clock budget
+// and simulated-clock stall detection); -retries re-runs killed or panicking
+// cells with a perturbed seed. Failed cells are reported in the output and
+// the grid still completes.
+//
 // -check and -update-golden run the golden-regression harness instead:
 // every named experiment (default "all" plus every registered name with a
 // baseline) is captured at golden scale and compared against — or written
@@ -50,12 +55,16 @@ func main() {
 	check := flag.Bool("check", false, "compare golden-scale fingerprints against the checked-in baselines")
 	update := flag.Bool("update-golden", false, "regenerate the checked-in golden fingerprints")
 	goldenDir := flag.String("golden-dir", "", "golden directory for -check/-update-golden (default: embedded baselines for -check, "+golden.DefaultDir+" for -update-golden)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock watchdog per grid cell (0 = off)")
+	cellStall := flag.Duration("cell-stall", 0, "kill a cell whose simulated clock stops advancing for this long (0 = off)")
+	retries := flag.Int("retries", 0, "re-run a failed or killed cell up to N times with a perturbed seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-json file] [-v] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-json file] [-v]\n")
+		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, name := range campaign.Names() {
@@ -97,7 +106,11 @@ func main() {
 		exit(2)
 	}
 
-	ctx := &campaign.Context{Quick: *quick, TimeDiv: *timeDiv, Seed: *seed, Jobs: *jobs}
+	ctx := &campaign.Context{
+		Quick: *quick, TimeDiv: *timeDiv, Seed: *seed, Jobs: *jobs,
+		Watchdog: campaign.Watchdog{Timeout: *cellTimeout, Stall: *cellStall},
+		Retries:  *retries,
+	}
 	if *jsonPath != "" {
 		ctx.Collector = &campaign.Collector{}
 	}

@@ -127,9 +127,10 @@ func replicate(sc experiments.Scenario, reps, jobs int, label string) {
 		tasks[i] = campaign.Task{
 			Name:      fmt.Sprintf("rep%d", i),
 			SeedIndex: i,
-			Run: func(seed int64) any {
+			Run: func(tc *campaign.TaskCtx) any {
 				rsc := sc
-				rsc.Seed = seed
+				rsc.Seed = tc.Seed
+				rsc.Watch = tc.Watch
 				return experiments.Run(rsc)
 			},
 		}

@@ -32,9 +32,119 @@ type Task struct {
 	SeedIndex int
 	// Params records the cell's coordinates for the serialized RunRecord.
 	Params map[string]any
-	// Run executes the cell with the derived seed and returns its result.
-	// A panic fails this cell only; the rest of the grid completes.
-	Run func(seed int64) any
+	// Run executes the cell and returns its result. tc carries the derived
+	// seed and the watchdog hookup (tc.Watch). A panic fails this cell
+	// only; the rest of the grid completes.
+	Run func(tc *TaskCtx) any
+}
+
+// Canceler is the cooperative-cancellation surface a cell registers with
+// the watchdog: Cancel asks the component to stop at its next safe point
+// (from another goroutine), and NowNanos exposes its virtual clock so the
+// watchdog can tell "slow" from "stuck". *sim.Simulator satisfies it
+// structurally; campaign never imports sim.
+type Canceler interface {
+	Cancel(reason string)
+	NowNanos() int64
+}
+
+// TaskCtx is the per-attempt context a Task.Run receives: the attempt's
+// seed, which retry this is, and the registration point for watchdog
+// supervision. A fresh TaskCtx is built for every attempt, so a retried
+// cell never sees stale cancellation state.
+type TaskCtx struct {
+	// Seed is the attempt's RNG seed: DeriveSeed(base, SeedIndex) on the
+	// first attempt, perturbed by PerturbSeed on retries.
+	Seed int64
+	// Attempt counts retries, starting at 0.
+	Attempt int
+
+	mu       sync.Mutex
+	watched  []Canceler
+	canceled bool
+	reason   string
+}
+
+// Watch registers a simulator (or any Canceler) for watchdog supervision.
+// Registering after the cell was already canceled cancels the component
+// immediately, closing the race between a slow construction and the
+// monitor's verdict. Without a watchdog configured, Watch is a cheap no-op
+// registration.
+func (tc *TaskCtx) Watch(c Canceler) {
+	tc.mu.Lock()
+	if tc.canceled {
+		reason := tc.reason
+		tc.mu.Unlock()
+		c.Cancel(reason)
+		return
+	}
+	tc.watched = append(tc.watched, c)
+	tc.mu.Unlock()
+}
+
+// cancel fans the verdict out to every watched component exactly once.
+func (tc *TaskCtx) cancel(reason string) {
+	tc.mu.Lock()
+	if tc.canceled {
+		tc.mu.Unlock()
+		return
+	}
+	tc.canceled = true
+	tc.reason = reason
+	watched := append([]Canceler(nil), tc.watched...)
+	tc.mu.Unlock()
+	for _, c := range watched {
+		c.Cancel(reason)
+	}
+}
+
+// progress sums the watched components' virtual clocks (and reports how
+// many there are): if the sum stops moving while wall time passes, the
+// cell is stalled, not slow.
+func (tc *TaskCtx) progress() (int64, int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var sum int64
+	for _, c := range tc.watched {
+		sum += c.NowNanos()
+	}
+	return sum, len(tc.watched)
+}
+
+// Watchdog bounds a cell's execution. The zero value disables supervision
+// entirely, in which case tasks run on the worker's own goroutine exactly
+// as before hardening.
+type Watchdog struct {
+	// Timeout is the hard wall-clock budget per attempt (0 = unlimited).
+	Timeout time.Duration
+	// Stall cancels an attempt whose watched simulators' virtual clocks
+	// have not advanced for this much wall time (0 = no stall detection).
+	// Cells that register nothing via Watch are exempt: with no virtual
+	// clock to observe, "stalled" cannot be distinguished from "busy".
+	Stall time.Duration
+	// Poll is the monitor's sampling interval (default 20 ms).
+	Poll time.Duration
+	// Grace is how long a canceled attempt gets to unwind before its
+	// goroutine is abandoned and the cell recorded as timed out
+	// (default 1 s). Abandonment only happens when a callback ignores
+	// cooperative cancellation (e.g. an infinite loop inside one event).
+	Grace time.Duration
+}
+
+func (w Watchdog) enabled() bool { return w.Timeout > 0 || w.Stall > 0 }
+
+func (w Watchdog) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 20 * time.Millisecond
+}
+
+func (w Watchdog) grace() time.Duration {
+	if w.Grace > 0 {
+		return w.Grace
+	}
+	return time.Second
 }
 
 // EventCounter lets Execute extract the simulated-event count from a run's
@@ -68,6 +178,11 @@ type RunRecord struct {
 	// Metrics is the run's scalar fingerprint when the result implements
 	// MetricsReporter (the golden harness keys on it).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Attempts is how many attempts the cell took (1 = first try).
+	Attempts int `json:"attempts,omitempty"`
+	// TimedOut marks a cell the watchdog killed (wall-clock timeout or
+	// sim-time stall); Err carries the watchdog's reason.
+	TimedOut bool `json:"timed_out,omitempty"`
 }
 
 // ProgressFunc observes each completed run. done counts completions so far
@@ -86,6 +201,38 @@ type ExecOptions struct {
 	Progress ProgressFunc
 	// Collector, if set, additionally receives every RunRecord.
 	Collector *Collector
+	// Watchdog bounds each attempt; the zero value disables supervision.
+	Watchdog Watchdog
+	// Retries is how many times a failed attempt is re-run (with a
+	// perturbed seed) before the cell is recorded as failed. Abandoned
+	// attempts — ones that ignored cooperative cancellation — are never
+	// retried: their goroutines are still wedged, and piling more on a
+	// deterministic hang would leak one goroutine per retry.
+	Retries int
+	// RetryBackoff is the wait before retry k (doubling each retry).
+	RetryBackoff time.Duration
+}
+
+// PerturbSeed maps an attempt's base seed to a retry seed: a SplitMix64
+// step over (seed, attempt), so retries explore different randomness while
+// remaining a pure function of the pair — a retried campaign is exactly as
+// reproducible as a first-try one.
+func PerturbSeed(seed int64, attempt int) int64 {
+	if attempt == 0 {
+		return seed
+	}
+	z := uint64(seed) ^ uint64(attempt)*0xD1B54A32D192ED03
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // DeriveSeed maps (base, index) to a run's seed via a SplitMix64 step, so
@@ -134,7 +281,7 @@ func Execute(tasks []Task, opt ExecOptions) []RunRecord {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rec := runTask(tasks[i], i, opt.BaseSeed)
+				rec := runTask(tasks[i], i, opt)
 				recs[i] = rec
 				mu.Lock()
 				done++
@@ -156,14 +303,101 @@ func Execute(tasks []Task, opt ExecOptions) []RunRecord {
 	return recs
 }
 
-// runTask executes one cell, capturing panics so a failing cell reports an
-// error in its record instead of killing the whole grid.
-func runTask(t Task, index int, base int64) (rec RunRecord) {
+// runTask executes one cell through the bounded retry loop: each failed
+// attempt (panic or watchdog kill) is re-run with a perturbed seed up to
+// opt.Retries times, with doubling backoff between attempts. An abandoned
+// attempt — one the watchdog canceled but that never unwound — ends the
+// cell immediately (see ExecOptions.Retries).
+func runTask(t Task, index int, opt ExecOptions) RunRecord {
+	base := DeriveSeed(opt.BaseSeed, t.SeedIndex)
+	var rec RunRecord
+	for attempt := 0; ; attempt++ {
+		var abandoned bool
+		rec, abandoned = runAttempt(t, index, PerturbSeed(base, attempt), attempt, opt.Watchdog)
+		rec.Attempts = attempt + 1
+		if rec.Err == "" || abandoned || attempt >= opt.Retries {
+			return rec
+		}
+		if opt.RetryBackoff > 0 {
+			time.Sleep(opt.RetryBackoff << attempt)
+		}
+	}
+}
+
+// runAttempt executes one attempt of one cell. Without a watchdog it runs
+// on the caller's goroutine — the pre-hardening behavior, zero overhead.
+// With one, the attempt runs on its own goroutine while this one monitors
+// wall time and virtual-clock progress, cancels on a breach, and abandons
+// the goroutine if the attempt ignores cancellation past the grace period
+// (abandoned is then true and the record marked TimedOut).
+func runAttempt(t Task, index int, seed int64, attempt int, wd Watchdog) (RunRecord, bool) {
+	if !wd.enabled() {
+		return execAttempt(t, index, seed, attempt, nil), false
+	}
+	tc := &TaskCtx{Seed: seed, Attempt: attempt}
+	resCh := make(chan RunRecord, 1) // buffered: an abandoned attempt's send must not block
+	go func() {
+		resCh <- execAttempt(t, index, seed, attempt, tc)
+	}()
+
+	start := time.Now()
+	ticker := time.NewTicker(wd.poll())
+	defer ticker.Stop()
+	lastProgress, lastChange := int64(-1), start
+	for {
+		select {
+		case rec := <-resCh:
+			return rec, false
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var reason string
+		if wd.Timeout > 0 && now.Sub(start) >= wd.Timeout {
+			reason = fmt.Sprintf("wall-clock timeout after %v", wd.Timeout)
+		} else if wd.Stall > 0 {
+			if p, n := tc.progress(); n > 0 {
+				if p != lastProgress {
+					lastProgress, lastChange = p, now
+				} else if now.Sub(lastChange) >= wd.Stall {
+					reason = fmt.Sprintf("sim-time stall: virtual clock stuck at %v for %v",
+						time.Duration(p), wd.Stall)
+				}
+			}
+		}
+		if reason == "" {
+			continue
+		}
+		tc.cancel(reason)
+		select {
+		case rec := <-resCh:
+			// The attempt unwound cooperatively; its own recover already
+			// classified the cancellation panic as a timeout.
+			return rec, false
+		case <-time.After(wd.grace()):
+			rec := RunRecord{
+				Name: t.Name, Index: index, Seed: seed, Params: t.Params,
+				TimedOut: true,
+				Err:      "watchdog: " + reason + " (attempt unresponsive, goroutine abandoned)",
+				WallMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
+			}
+			return rec, true
+		}
+	}
+}
+
+// execAttempt runs Task.Run once, capturing panics so a failing cell
+// reports an error in its record instead of killing the whole grid. A
+// panic carrying a CancelReason (the simulator's cooperative-cancellation
+// unwind) marks the record TimedOut rather than failed-with-a-bug.
+func execAttempt(t Task, index int, seed int64, attempt int, tc *TaskCtx) (rec RunRecord) {
 	rec = RunRecord{
 		Name:   t.Name,
 		Index:  index,
-		Seed:   DeriveSeed(base, t.SeedIndex),
+		Seed:   seed,
 		Params: t.Params,
+	}
+	if tc == nil {
+		tc = &TaskCtx{Seed: seed, Attempt: attempt}
 	}
 	start := time.Now()
 	defer func() {
@@ -171,7 +405,12 @@ func runTask(t Task, index int, base int64) (rec RunRecord) {
 		rec.WallMs = float64(wall.Nanoseconds()) / 1e6
 		if p := recover(); p != nil {
 			rec.Result = nil
-			rec.Err = fmt.Sprintf("panic: %v", p)
+			if cr, ok := p.(interface{ CancelReason() string }); ok {
+				rec.TimedOut = true
+				rec.Err = "watchdog: " + cr.CancelReason()
+			} else {
+				rec.Err = fmt.Sprintf("panic: %v", p)
+			}
 			return
 		}
 		if ec, ok := rec.Result.(EventCounter); ok {
@@ -184,7 +423,7 @@ func runTask(t Task, index int, base int64) (rec RunRecord) {
 			rec.Metrics = mr.Metrics()
 		}
 	}()
-	rec.Result = t.Run(rec.Seed)
+	rec.Result = t.Run(tc)
 	return rec
 }
 

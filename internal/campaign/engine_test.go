@@ -26,7 +26,7 @@ func squares(n int) []Task {
 			Name:      fmt.Sprintf("sq/%d", i),
 			SeedIndex: i,
 			Params:    map[string]any{"i": i},
-			Run: func(seed int64) any {
+			Run: func(tc *TaskCtx) any {
 				return countedResult{Value: i * i, events: uint64(100 + i)}
 			},
 		}
@@ -89,7 +89,7 @@ func TestDeriveSeedProperties(t *testing.T) {
 
 func TestExecutePanicFailsOneCellOnly(t *testing.T) {
 	tasks := squares(5)
-	tasks[2].Run = func(seed int64) any { panic("boom") }
+	tasks[2].Run = func(tc *TaskCtx) any { panic("boom") }
 	recs := Execute(tasks, ExecOptions{Jobs: 3, BaseSeed: 1})
 	for i, r := range recs {
 		if i == 2 {
@@ -149,9 +149,9 @@ func TestExecutePairedSeedIndex(t *testing.T) {
 	// Two arms sharing a SeedIndex must receive the same seed (the PIE vs
 	// PI2 paired-comparison pattern).
 	tasks := []Task{
-		{Name: "a", SeedIndex: 0, Run: func(seed int64) any { return seed }},
-		{Name: "b", SeedIndex: 0, Run: func(seed int64) any { return seed }},
-		{Name: "c", SeedIndex: 1, Run: func(seed int64) any { return seed }},
+		{Name: "a", SeedIndex: 0, Run: func(tc *TaskCtx) any { return tc.Seed }},
+		{Name: "b", SeedIndex: 0, Run: func(tc *TaskCtx) any { return tc.Seed }},
+		{Name: "c", SeedIndex: 1, Run: func(tc *TaskCtx) any { return tc.Seed }},
 	}
 	recs := Execute(tasks, ExecOptions{Jobs: 2, BaseSeed: 5})
 	if recs[0].Result != recs[1].Result {

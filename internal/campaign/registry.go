@@ -3,6 +3,7 @@ package campaign
 import (
 	"io"
 	"sync"
+	"time"
 )
 
 // Experiment is a named, self-printing experiment — one table or figure of
@@ -88,6 +89,12 @@ type Context struct {
 	Progress ProgressFunc
 	// Collector, if set, accumulates every RunRecord for -json output.
 	Collector *Collector
+	// Watchdog bounds each cell's attempts (zero = unsupervised).
+	Watchdog Watchdog
+	// Retries re-runs failed cells with perturbed seeds; RetryBackoff is
+	// the doubling wait between attempts.
+	Retries      int
+	RetryBackoff time.Duration
 
 	mu   sync.Mutex
 	memo map[string]any

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pi2/internal/aqm"
+	"pi2/internal/link"
 	"pi2/internal/packet"
 	"pi2/internal/sim"
 	"pi2/internal/stats"
@@ -99,6 +100,20 @@ type DualLink struct {
 
 	core aqm.PICore
 
+	// txPkt is the packet currently serializing and txDoneFn the pre-bound
+	// completion callback — one slot instead of a per-packet closure, the
+	// same zero-allocation transmit path as link.Link.
+	txPkt    *packet.Packet
+	txDoneFn sim.Event
+
+	// pool recycles dropped packets (delivered ones are released by their
+	// terminal consumer downstream).
+	pool *packet.Pool
+
+	// OnDrop, if set, observes every dropped packet (and takes ownership of
+	// it), mirroring link.Link.OnDrop.
+	OnDrop func(*packet.Packet, link.DropReason)
+
 	// Statistics, split per queue. Exact samples by default; the heavy
 	// many-flow tier swaps in constant-memory histograms (assign before
 	// the first enqueue).
@@ -107,6 +122,10 @@ type DualLink struct {
 	lMarks, cMarks     int
 	busySince          time.Duration
 	busyTotal          time.Duration
+
+	// aud is the always-on invariant auditor shared with link.Link: the
+	// same conservation identities hold over the combined L+C backlog.
+	aud link.Auditor
 }
 
 // NewDualLink creates a DualPI2 bottleneck of the given rate (bits/s).
@@ -118,9 +137,11 @@ func NewDualLink(s *sim.Simulator, rateBps float64, cfg DualConfig, deliver func
 		rng:      s.RNG(),
 		rate:     rateBps,
 		deliver:  deliver,
+		pool:     s.PacketPool(),
 		LSojourn: &stats.Sample{},
 		CSojourn: &stats.Sample{},
 	}
+	d.txDoneFn = d.txDone
 	d.core = aqm.PICore{
 		Alpha:  cfg.Alpha,
 		Beta:   cfg.Beta,
@@ -163,9 +184,13 @@ func (d *DualLink) update() {
 // probability at enqueue; L-queue packets are marked at dequeue (so the
 // mark reflects the delay actually experienced).
 func (d *DualLink) Enqueue(p *packet.Packet) {
+	if p.Released() {
+		panic("duallink: enqueued a packet that was already released to the pool")
+	}
 	now := d.sim.Now()
+	d.aud.Offered(p, now)
 	if d.lq.len()+d.cq.len() >= d.cfg.BufferPackets {
-		d.drops++
+		d.drop(p, link.DropOverflow)
 		return
 	}
 	p.EnqueuedAt = now
@@ -175,18 +200,35 @@ func (d *DualLink) Enqueue(p *packet.Packet) {
 		pp := d.core.P()
 		if d.rng.Float64() < pp && d.rng.Float64() < pp {
 			if p.ECN == packet.ECT0 {
+				d.aud.Marked(p, now)
 				p.ECN = packet.CE
 				d.cMarks++
 			} else {
-				d.drops++
+				d.drop(p, link.DropAQM)
 				return
 			}
 		}
 		d.cq.push(p)
 	}
+	d.aud.Accepted(p, now)
+	d.aud.Conserve(now, d.lq.len()+d.cq.len(), d.lq.bytes+d.cq.bytes)
 	if !d.busy {
 		d.startTx()
 	}
+}
+
+// drop records an enqueue-time drop (overflow or Classic squared drop) and
+// recycles the packet unless an OnDrop observer takes ownership.
+func (d *DualLink) drop(p *packet.Packet, r link.DropReason) {
+	now := d.sim.Now()
+	d.aud.DroppedPkt(p, now, false)
+	d.drops++
+	if d.OnDrop != nil {
+		d.OnDrop(p, r)
+	} else {
+		d.pool.Release(p)
+	}
+	d.aud.Conserve(now, d.lq.len()+d.cq.len(), d.lq.bytes+d.cq.bytes)
 }
 
 // rampProb is the L queue's native AQM: linear ramp on sojourn time.
@@ -218,6 +260,7 @@ func (d *DualLink) startTx() {
 			pL = 1
 		}
 		if d.rng.Float64() < pL {
+			d.aud.Marked(p, now)
 			p.ECN = packet.CE
 			d.lMarks++
 		}
@@ -225,19 +268,41 @@ func (d *DualLink) startTx() {
 		p = d.cq.pop()
 		d.CSojourn.Add((now - p.EnqueuedAt).Seconds())
 	}
+	d.aud.Dequeued(p, now)
+	d.aud.Conserve(now, d.lq.len()+d.cq.len(), d.lq.bytes+d.cq.bytes)
 
 	d.busy = true
 	d.busySince = now
+	d.txPkt = p
 	txTime := time.Duration(float64(p.WireLen*8) / d.rate * float64(time.Second))
-	d.sim.After(txTime, func() {
-		d.busyTotal += d.sim.Now() - d.busySince
-		d.deliver(p)
-		d.busy = false
-		if d.lq.len()+d.cq.len() > 0 {
-			d.startTx()
-		}
-	})
+	d.sim.After(txTime, d.txDoneFn)
 }
+
+// txDone completes the in-flight packet's serialization and hands it to the
+// delivery callback; pre-bound once so transmission schedules a method
+// value, not a fresh closure per packet.
+func (d *DualLink) txDone() {
+	p := d.txPkt
+	d.txPkt = nil
+	d.busyTotal += d.sim.Now() - d.busySince
+	d.aud.Delivered(p, d.sim.Now())
+	d.deliver(p)
+	d.busy = false
+	if d.lq.len()+d.cq.len() > 0 {
+		d.startTx()
+	}
+}
+
+// SetRateBps changes the link capacity (rate-flap impairment schedules call
+// this); a packet already serializing completes at the old rate.
+func (d *DualLink) SetRateBps(r float64) { d.rate = r }
+
+// RateBps returns the current capacity in bits/s.
+func (d *DualLink) RateBps() float64 { return d.rate }
+
+// Audit returns the always-on invariant auditor (same identities as
+// link.Link's, over the combined L+C backlog).
+func (d *DualLink) Audit() *link.Auditor { return &d.aud }
 
 // Utilization returns the busy fraction since simulation start.
 func (d *DualLink) Utilization() float64 {

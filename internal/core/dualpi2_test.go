@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"pi2/internal/link"
 	"pi2/internal/packet"
 	"pi2/internal/sim"
 )
@@ -146,5 +147,97 @@ func TestDualPPrimeRisesWithCQueue(t *testing.T) {
 	s.RunUntil(2 * time.Second)
 	if d.PPrime() == 0 {
 		t.Error("p' stayed 0 with a standing Classic queue")
+	}
+}
+
+func TestDualAuditorConservation(t *testing.T) {
+	// Overflow drops, Classic squared drops, L marks and deliveries all in
+	// one run: the auditor's conservation identities must hold throughout
+	// and the ledger must match the DualLink's own counters.
+	cfg := DualConfig{BufferPackets: 20}
+	s, d, delivered := newDualHarness(1, 1e6, cfg)
+	d.core.SetP(0.3)
+	for i := 0; i < 60; i++ {
+		d.Enqueue(packet.NewData(1, int64(i), packet.MSS, packet.NotECT))
+		d.Enqueue(packet.NewData(2, int64(i), packet.MSS, packet.ECT1))
+	}
+	s.RunUntil(10 * time.Second)
+	a := d.Audit()
+	if v := a.Violations(); v != nil {
+		t.Fatalf("auditor violations: %v", v)
+	}
+	if a.OfferedPackets != 120 {
+		t.Errorf("offered %d, want 120", a.OfferedPackets)
+	}
+	if a.DroppedPackets != d.Drops() {
+		t.Errorf("auditor drops %d != link drops %d", a.DroppedPackets, d.Drops())
+	}
+	if a.DeliveredPackets != len(*delivered) {
+		t.Errorf("auditor delivered %d, callback saw %d", a.DeliveredPackets, len(*delivered))
+	}
+	if a.AcceptedPackets+a.DroppedPackets != a.OfferedPackets {
+		t.Errorf("accepted %d + dropped %d != offered %d",
+			a.AcceptedPackets, a.DroppedPackets, a.OfferedPackets)
+	}
+	if a.DeliveredBytes != a.AcceptedBytes {
+		t.Errorf("drained run: delivered %d B != accepted %d B", a.DeliveredBytes, a.AcceptedBytes)
+	}
+}
+
+func TestDualDroppedPacketsReturnToPool(t *testing.T) {
+	cfg := DualConfig{BufferPackets: 5}
+	s, d, _ := newDualHarness(1, 1e6, cfg)
+	pool := s.PacketPool()
+	for i := 0; i < 20; i++ {
+		d.Enqueue(pool.NewData(1, int64(i), packet.MSS, packet.NotECT))
+	}
+	if d.Drops() == 0 {
+		t.Fatal("no overflow drops")
+	}
+	if got := pool.Stats().Released; got != uint64(d.Drops()) {
+		t.Errorf("pool saw %d releases, want %d (one per drop)", got, d.Drops())
+	}
+	s.RunUntil(5 * time.Second)
+}
+
+func TestDualOnDropTakesOwnership(t *testing.T) {
+	cfg := DualConfig{BufferPackets: 5}
+	s, d, _ := newDualHarness(1, 1e6, cfg)
+	var seen []link.DropReason
+	d.OnDrop = func(p *packet.Packet, r link.DropReason) {
+		if p.Released() {
+			t.Error("OnDrop received an already-released packet")
+		}
+		seen = append(seen, r)
+	}
+	pool := s.PacketPool()
+	for i := 0; i < 20; i++ {
+		d.Enqueue(pool.NewData(1, int64(i), packet.MSS, packet.NotECT))
+	}
+	if len(seen) != d.Drops() {
+		t.Errorf("observer saw %d drops, counter says %d", len(seen), d.Drops())
+	}
+	for _, r := range seen {
+		if r != link.DropOverflow {
+			t.Errorf("drop reason %v, want overflow", r)
+		}
+	}
+	if got := pool.Stats().Released; got != 0 {
+		t.Errorf("pool saw %d releases despite observer owning drops", got)
+	}
+	s.RunUntil(5 * time.Second)
+}
+
+func TestDualSetRateBps(t *testing.T) {
+	s, d, delivered := newDualHarness(1, 1e6, DualConfig{})
+	if got := d.RateBps(); got != 1e6 {
+		t.Fatalf("initial rate %v", got)
+	}
+	d.SetRateBps(2e6)
+	d.Enqueue(packet.NewData(1, 0, packet.MSS, packet.NotECT))
+	// 1500 B at 2 Mb/s serializes in 6 ms, not the 12 ms of the old rate.
+	s.RunUntil(7 * time.Millisecond)
+	if len(*delivered) != 1 {
+		t.Errorf("packet not delivered at the new rate within 7 ms")
 	}
 }

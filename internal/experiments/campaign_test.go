@@ -3,11 +3,13 @@ package experiments
 import (
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pi2/internal/campaign"
+	"pi2/internal/sim"
 	"pi2/internal/traffic"
 )
 
@@ -73,7 +75,7 @@ func TestGridSeedsAreIndexStable(t *testing.T) {
 		tasks = append(tasks, campaign.Task{
 			Name:      "seedcheck",
 			SeedIndex: i,
-			Run:       func(seed int64) any { return seed },
+			Run:       func(tc *campaign.TaskCtx) any { return tc.Seed },
 		})
 	}
 	for _, jobs := range []int{1, 3, 8} {
@@ -166,5 +168,67 @@ func TestUDPStatsAccounted(t *testing.T) {
 	}
 	if u.DeliveredBps <= 0 || u.DeliveredBps > sc.LinkRateBps*1.05 {
 		t.Errorf("delivered rate %.0f bps implausible for a %.0f bps link", u.DeliveredBps, sc.LinkRateBps)
+	}
+}
+
+// TestWatchdogKillsHungSimCell is the end-to-end robustness check with a
+// real simulator: a cell whose event loop never reaches its horizon is
+// cooperatively canceled by the wall-clock watchdog, the grid still returns
+// a record for every cell, and healthy cells are untouched.
+func TestWatchdogKillsHungSimCell(t *testing.T) {
+	tasks := []campaign.Task{
+		{Name: "healthy", SeedIndex: 0, Run: func(tc *campaign.TaskCtx) any {
+			return Run(testScenario(tc.Seed))
+		}},
+		{Name: "hung", SeedIndex: 1, Run: func(tc *campaign.TaskCtx) any {
+			s := sim.New(tc.Seed)
+			tc.Watch(s)
+			s.Every(time.Nanosecond, func() {}) // event storm: horizon never reached
+			s.RunUntil(time.Hour)
+			return "unreachable"
+		}},
+	}
+	recs := campaign.Execute(tasks, campaign.ExecOptions{
+		Jobs: 2, BaseSeed: 3,
+		Watchdog: campaign.Watchdog{Timeout: 150 * time.Millisecond, Poll: 10 * time.Millisecond},
+	})
+	if recs[0].Err != "" {
+		t.Errorf("healthy cell failed: %q", recs[0].Err)
+	}
+	if _, ok := recs[0].Result.(*Result); !ok {
+		t.Error("healthy cell lost its result")
+	}
+	hung := recs[1]
+	if !hung.TimedOut {
+		t.Fatalf("hung sim cell not marked TimedOut: %+v", hung)
+	}
+	if !strings.Contains(hung.Err, "watchdog") {
+		t.Errorf("error %q does not name the watchdog", hung.Err)
+	}
+	if hung.Result != nil {
+		t.Errorf("hung cell has a result: %v", hung.Result)
+	}
+}
+
+// TestChaosDeterministicAcrossJobs: the chaos grid — impairments, retries
+// machinery and all — must produce identical points at any worker count.
+func TestChaosDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	o := Options{Quick: true, TimeDiv: 40}
+	serial, failedS, errS := Chaos(Options{Quick: o.Quick, TimeDiv: o.TimeDiv, Jobs: 1})
+	wide, failedW, errW := Chaos(Options{Quick: o.Quick, TimeDiv: o.TimeDiv, Jobs: 8})
+	if errS != nil || errW != nil {
+		t.Fatalf("chaos cells failed: %v / %v (%v %v)", errS, errW, failedS, failedW)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("chaos points differ between jobs=1 and jobs=8")
+	}
+	// Faults must actually fire in the loss scenarios.
+	for _, p := range serial {
+		if (p.Scenario == "burst-loss" || p.Scenario == "chaos") && p.FaultDrops == 0 {
+			t.Errorf("%s/%s: no injected losses", p.Scenario, p.AQM)
+		}
 	}
 }

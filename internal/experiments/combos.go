@@ -62,8 +62,8 @@ func FlowCombos(o Options, combos [][2]int) []ComboPoint {
 					Params: map[string]any{
 						"pair": pair, "aqm": aqmName, "na": na, "nb": nb,
 					},
-					Run: func(seed int64) any {
-						return runCombo(o, seed, na, nb, aqmName, pair)
+					Run: func(tc *campaign.TaskCtx) any {
+						return runCombo(o, tc, na, nb, aqmName, pair)
 					},
 				})
 			}
@@ -79,7 +79,7 @@ func FlowCombos(o Options, combos [][2]int) []ComboPoint {
 	return out
 }
 
-func runCombo(o Options, seed int64, na, nb int, aqmName, pair string) ComboPoint {
+func runCombo(o Options, tc *campaign.TaskCtx, na, nb int, aqmName, pair string) ComboPoint {
 	target := 20 * time.Millisecond
 	factory, _ := FactoryByName(aqmName, target)
 	dur := o.scale(60 * time.Second)
@@ -88,7 +88,8 @@ func runCombo(o Options, seed int64, na, nb int, aqmName, pair string) ComboPoin
 		rtt     = 10 * time.Millisecond
 	)
 	sc := Scenario{
-		Seed:        seed,
+		Seed:        tc.Seed,
+		Watch:       tc.Watch,
 		LinkRateBps: linkBps,
 		NewAQM:      factory,
 		Duration:    dur,

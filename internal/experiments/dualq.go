@@ -51,12 +51,12 @@ func DualQ(o Options, na, nb int) *DualQResult {
 		{
 			Name: "dualq/single", SeedIndex: 0,
 			Params: map[string]any{"na": na, "nb": nb},
-			Run:    func(seed int64) any { return dualQSingleArm(o, seed, na, nb) },
+			Run:    func(tc *campaign.TaskCtx) any { return dualQSingleArm(o, tc, na, nb) },
 		},
 		{
 			Name: "dualq/dual", SeedIndex: 0,
 			Params: map[string]any{"na": na, "nb": nb},
-			Run:    func(seed int64) any { return dualQDualArm(o, seed, na, nb) },
+			Run:    func(tc *campaign.TaskCtx) any { return dualQDualArm(o, tc, na, nb) },
 		},
 	}
 	recs := campaign.Execute(tasks, o.exec())
@@ -81,14 +81,15 @@ func DualQ(o Options, na, nb int) *DualQResult {
 // dualQSingleArm is the single shared queue: per-class delay comes from the
 // per-packet sample split by ECN — approximate with the shared-queue sample
 // for both classes (that is the point: in a single queue they are identical).
-func dualQSingleArm(o Options, seed int64, na, nb int) dualArm {
+func dualQSingleArm(o Options, tc *campaign.TaskCtx, na, nb int) dualArm {
 	const (
 		rate = 40e6
 		rtt  = 10 * time.Millisecond
 	)
 	dur := o.scale(100 * time.Second)
 	sc := Scenario{
-		Seed:        seed,
+		Seed:        tc.Seed,
+		Watch:       tc.Watch,
 		LinkRateBps: rate,
 		NewAQM:      PI2Factory(20 * time.Millisecond),
 		Duration:    dur,
@@ -107,7 +108,7 @@ func dualQSingleArm(o Options, seed int64, na, nb int) dualArm {
 }
 
 // dualQDualArm is the DualPI2 arrangement: custom wiring around core.DualLink.
-func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
+func dualQDualArm(o Options, tc *campaign.TaskCtx, na, nb int) dualArm {
 	const (
 		rate = 40e6
 		rtt  = 10 * time.Millisecond
@@ -115,7 +116,8 @@ func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
 	dur := o.scale(100 * time.Second)
 	warm := dur * 2 / 5
 
-	s := sim.New(seed)
+	s := sim.New(tc.Seed)
+	tc.Watch(s)
 	d := link.NewDispatcher()
 	dual := core.NewDualLink(s, rate, core.DualConfig{}, d.Deliver)
 	var cubics, dctcps []*tcp.Endpoint
@@ -144,6 +146,9 @@ func dualQDualArm(o Options, seed int64, na, nb int) dualArm {
 		dual.CSojourn.Reset()
 	})
 	s.RunUntil(dur)
+	if msg := dual.Audit().Err("duallink"); msg != "" {
+		panic(msg)
+	}
 	now := s.Now()
 	mean := func(eps []*tcp.Endpoint) float64 {
 		if len(eps) == 0 {
@@ -232,14 +237,14 @@ func FQArrangement(o Options, na, nb int) FQRow {
 	tasks := []campaign.Task{{
 		Name: "dualq/fq-codel", SeedIndex: 0,
 		Params: map[string]any{"na": na, "nb": nb},
-		Run:    func(seed int64) any { return fqArrangementArm(o, seed, na, nb) },
+		Run:    func(tc *campaign.TaskCtx) any { return fqArrangementArm(o, tc, na, nb) },
 	}}
 	recs := campaign.Execute(tasks, o.exec())
 	row, _ := recs[0].Result.(FQRow)
 	return row
 }
 
-func fqArrangementArm(o Options, seed int64, na, nb int) FQRow {
+func fqArrangementArm(o Options, tc *campaign.TaskCtx, na, nb int) FQRow {
 	const (
 		rate = 40e6
 		rtt  = 10 * time.Millisecond
@@ -247,7 +252,8 @@ func fqArrangementArm(o Options, seed int64, na, nb int) FQRow {
 	dur := o.scale(100 * time.Second)
 	warm := dur * 2 / 5
 
-	s := sim.New(seed)
+	s := sim.New(tc.Seed)
+	tc.Watch(s)
 	d := link.NewDispatcher()
 	l := fq.New(s, fq.Config{RateBps: rate}, d.Deliver)
 	var cubics, dctcps []*tcp.Endpoint

@@ -28,6 +28,12 @@ type Options struct {
 	Progress campaign.ProgressFunc
 	// Collect, if set, receives every RunRecord (the CLIs' -json sink).
 	Collect *campaign.Collector
+	// Watchdog bounds each cell's attempts (zero = unsupervised).
+	Watchdog campaign.Watchdog
+	// Retries re-runs failed cells with perturbed seeds; RetryBackoff is
+	// the doubling wait between attempts.
+	Retries      int
+	RetryBackoff time.Duration
 }
 
 func (o Options) seed() int64 {
@@ -44,10 +50,13 @@ func (o Options) exec() campaign.ExecOptions {
 		jobs = 1
 	}
 	return campaign.ExecOptions{
-		Jobs:      jobs,
-		BaseSeed:  o.seed(),
-		Progress:  o.Progress,
-		Collector: o.Collect,
+		Jobs:         jobs,
+		BaseSeed:     o.seed(),
+		Progress:     o.Progress,
+		Collector:    o.Collect,
+		Watchdog:     o.Watchdog,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
 	}
 }
 
@@ -112,10 +121,11 @@ func variantTask(name string, seedIndex int, base Scenario, factory AQMFactory) 
 	return campaign.Task{
 		Name:      name,
 		SeedIndex: seedIndex,
-		Run: func(seed int64) any {
+		Run: func(tc *campaign.TaskCtx) any {
 			sc := base
-			sc.Seed = seed
+			sc.Seed = tc.Seed
 			sc.NewAQM = factory
+			sc.Watch = tc.Watch
 			return Run(sc)
 		},
 	}

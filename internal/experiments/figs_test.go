@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"pi2/internal/campaign"
 )
 
 var quick = Options{Quick: true}
@@ -112,8 +114,8 @@ func TestCoexistenceHeadline(t *testing.T) {
 	// the grid: under PIE, DCTCP starves Cubic (ratio ~0.1); under PI2
 	// the ratio is near 1. Run at full length for fidelity.
 	o := Options{}
-	pie := runSweepPoint(o, o.seed(), 40, 10*time.Millisecond, "pie", "dctcp")
-	pi2 := runSweepPoint(o, o.seed(), 40, 10*time.Millisecond, "pi2", "dctcp")
+	pie := runSweepPoint(o, &campaign.TaskCtx{Seed: o.seed()}, 40, 10*time.Millisecond, "pie", "dctcp")
+	pi2 := runSweepPoint(o, &campaign.TaskCtx{Seed: o.seed()}, 40, 10*time.Millisecond, "pi2", "dctcp")
 	t.Logf("pie ratio=%.3f pi2 ratio=%.3f", pie.Ratio, pi2.Ratio)
 	if pie.Ratio > 0.3 {
 		t.Errorf("PIE ratio %.3f: DCTCP should starve Cubic", pie.Ratio)
@@ -130,8 +132,8 @@ func TestCoexistenceControlPair(t *testing.T) {
 	// Control case: Cubic vs ECN-Cubic behaves similarly under both AQMs
 	// (Figure 15's black series).
 	o := Options{Quick: true}
-	pie := runSweepPoint(o, o.seed(), 40, 10*time.Millisecond, "pie", "ecn-cubic")
-	pi2 := runSweepPoint(o, o.seed(), 40, 10*time.Millisecond, "pi2", "ecn-cubic")
+	pie := runSweepPoint(o, &campaign.TaskCtx{Seed: o.seed()}, 40, 10*time.Millisecond, "pie", "ecn-cubic")
+	pi2 := runSweepPoint(o, &campaign.TaskCtx{Seed: o.seed()}, 40, 10*time.Millisecond, "pi2", "ecn-cubic")
 	t.Logf("pie=%.3f pi2=%.3f", pie.Ratio, pi2.Ratio)
 	for _, p := range []SweepPoint{pie, pi2} {
 		if p.Ratio < 0.3 || p.Ratio > 3 {
@@ -144,7 +146,7 @@ func TestSweepProbabilityCoupling(t *testing.T) {
 	// Under PI2, the scalable marking probability must exceed the classic
 	// probability (ps = 2·√pc > pc), visible in the Figure 17 data.
 	o := Options{Quick: true}
-	pt := runSweepPoint(o, o.seed(), 40, 10*time.Millisecond, "pi2", "dctcp")
+	pt := runSweepPoint(o, &campaign.TaskCtx{Seed: o.seed()}, 40, 10*time.Millisecond, "pi2", "dctcp")
 	if pt.ProbB.Mean <= pt.ProbA.Mean {
 		t.Errorf("scalable prob %.4f <= classic prob %.4f", pt.ProbB.Mean, pt.ProbA.Mean)
 	}

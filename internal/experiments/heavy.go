@@ -97,11 +97,11 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 				Name:      "heavy",
 				SeedIndex: len(tasks),
 				Params:    map[string]any{"aqm": aqmName, "flows": n},
-				Run: func(seed int64) any {
+				Run: func(tc *campaign.TaskCtx) any {
 					if aqmName == "dualpi2" {
-						return runHeavyDual(o, seed, n)
+						return runHeavyDual(o, tc, n)
 					}
-					return runHeavyCell(o, seed, n, aqmName)
+					return runHeavyCell(o, tc, n, aqmName)
 				},
 			})
 		}
@@ -140,7 +140,7 @@ func heavyDuration(o Options) time.Duration {
 
 // runHeavyCell is a single-queue cell (PIE or PI2) through the standard
 // scenario runner with compact collectors.
-func runHeavyCell(o Options, seed int64, n int, aqmName string) HeavyPoint {
+func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyPoint {
 	target := 20 * time.Millisecond
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
@@ -149,7 +149,8 @@ func runHeavyCell(o Options, seed int64, n int, aqmName string) HeavyPoint {
 	dur := heavyDuration(o)
 	reno, cubic, dctcp := heavyMix(n)
 	sc := Scenario{
-		Seed:           seed,
+		Seed:           tc.Seed,
+		Watch:          tc.Watch,
 		LinkRateBps:    heavyPerFlowBps * float64(n),
 		NewAQM:         factory,
 		CompactMetrics: true,
@@ -177,12 +178,13 @@ func runHeavyCell(o Options, seed int64, n int, aqmName string) HeavyPoint {
 // scenario runner drives single-queue links only), with both per-queue
 // sojourn collectors pointed at one shared histogram so the cell reports a
 // combined queue-delay distribution in constant memory.
-func runHeavyDual(o Options, seed int64, n int) HeavyPoint {
+func runHeavyDual(o Options, tc *campaign.TaskCtx, n int) HeavyPoint {
 	dur := heavyDuration(o)
 	warm := dur * 2 / 5
 	reno, cubic, dctcp := heavyMix(n)
 
-	s := sim.New(seed)
+	s := sim.New(tc.Seed)
+	tc.Watch(s)
 	d := link.NewDispatcher()
 	dual := core.NewDualLink(s, heavyPerFlowBps*float64(n), core.DualConfig{}, d.Deliver)
 	soj := stats.NewDelayHistogram()
@@ -217,6 +219,9 @@ func runHeavyDual(o Options, seed int64, n int) HeavyPoint {
 		soj.Reset()
 	})
 	s.RunUntil(dur)
+	if msg := dual.Audit().Err("duallink"); msg != "" {
+		panic(msg)
+	}
 	now := s.Now()
 	rates := make([]float64, 0, len(flows))
 	for _, ep := range flows {

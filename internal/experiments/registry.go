@@ -12,12 +12,15 @@ import (
 // opts translates one campaign invocation's knobs into driver Options.
 func opts(ctx *campaign.Context) Options {
 	return Options{
-		Quick:    ctx.Quick,
-		TimeDiv:  ctx.TimeDiv,
-		Seed:     ctx.Seed,
-		Jobs:     ctx.Jobs,
-		Progress: ctx.Progress,
-		Collect:  ctx.Collector,
+		Quick:        ctx.Quick,
+		TimeDiv:      ctx.TimeDiv,
+		Seed:         ctx.Seed,
+		Jobs:         ctx.Jobs,
+		Progress:     ctx.Progress,
+		Collect:      ctx.Collector,
+		Watchdog:     ctx.Watchdog,
+		Retries:      ctx.Retries,
+		RetryBackoff: ctx.RetryBackoff,
 	}
 }
 
@@ -150,6 +153,15 @@ func init() {
 		Run: printer(func(ctx *campaign.Context, w io.Writer) {
 			PrintArrangements(w, memoDualQ(ctx), FQArrangement(opts(ctx), 1, 1))
 		}),
+	})
+	campaign.Register(campaign.Experiment{
+		Name: "chaos", Desc: "robustness tier: PIE/PI2/DualPI2 under bursty loss, rate flaps, reordering", InAll: true,
+		Run: func(ctx *campaign.Context, w io.Writer) error {
+			pts, failed, err := Chaos(opts(ctx))
+			PrintChaos(w, pts, failed)
+			fmt.Fprintln(w)
+			return err
+		},
 	})
 	// The heavy tier stays out of "all" (and hence the golden set): its big
 	// cells take minutes. The table on stdout is seed-deterministic like every

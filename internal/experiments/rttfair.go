@@ -42,10 +42,11 @@ func RTTFairSweep(o Options) []RTTFairPoint {
 				Params: map[string]any{
 					"rtt_a_ms": ra.Seconds() * 1e3, "rtt_b_ms": rb.Seconds() * 1e3,
 				},
-				Run: func(seed int64) any {
+				Run: func(tc *campaign.TaskCtx) any {
 					dur := o.scale(100 * time.Second)
 					res := Run(Scenario{
-						Seed:        seed,
+						Seed:        tc.Seed,
+						Watch:       tc.Watch,
 						LinkRateBps: 40e6,
 						NewAQM:      PI2Factory(20 * time.Millisecond),
 						Bulk: []traffic.BulkFlowSpec{

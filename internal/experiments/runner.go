@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"pi2/internal/aqm"
+	"pi2/internal/campaign"
+	"pi2/internal/faults"
 	"pi2/internal/link"
 	"pi2/internal/sim"
 	"pi2/internal/stats"
@@ -67,6 +69,16 @@ type Scenario struct {
 	// AckEvery sets the delayed/stretch-ACK factor on every bulk flow
 	// (0/1 = acknowledge each segment).
 	AckEvery int
+	// Impair, if non-nil, applies the fault layer to the run: per-packet
+	// channel impairments (loss, reordering, duplication) wrap the
+	// bottleneck's delivery callback, and a rate schedule drives the
+	// link's capacity. Nil leaves the delivery path — and every RNG
+	// stream, and therefore every golden fingerprint — exactly as before.
+	Impair *faults.Config
+	// Watch, if set, receives the run's simulator right after it is
+	// built. Drivers set it to the campaign TaskCtx's Watch so the
+	// watchdog can cancel the run and observe its virtual clock.
+	Watch func(campaign.Canceler)
 	// CompactMetrics switches every distribution collector in the Result
 	// (queue sojourn, probability and utilization samples, web FCT) from
 	// the exact per-observation stats.Sample to the constant-memory
@@ -157,6 +169,9 @@ type Result struct {
 	WebFCT stats.Quantiler
 	// UDP reports per-source delivered/lost bytes in Scenario order.
 	UDP []UDPResult
+	// FaultDrops, FaultDups and FaultReorders count the impairment
+	// layer's interventions (all zero without Scenario.Impair).
+	FaultDrops, FaultDups, FaultReorders int
 	// Events is the number of simulator events processed (bench metric).
 	Events uint64
 }
@@ -192,13 +207,29 @@ func Run(sc Scenario) *Result {
 		sc.SampleEvery = time.Second
 	}
 	s := sim.New(sc.Seed)
+	if sc.Watch != nil {
+		sc.Watch(s)
+	}
 	d := link.NewDispatcher()
+	// The impairment layer wraps the delivery callback *after* the link,
+	// so the link auditor's conservation identities hold unchanged with
+	// faults active. It is only constructed when impairments are
+	// configured: an unimpaired run draws no extra RNG stream.
+	deliver := d.Deliver
+	var inj *faults.Injector
+	if sc.Impair != nil && sc.Impair.Active() {
+		inj = faults.NewInjector(s, *sc.Impair, d.Deliver)
+		deliver = inj.Deliver
+	}
 	l := link.New(s, link.Config{
 		RateBps:       sc.LinkRateBps,
 		BufferPackets: sc.BufferPackets,
 		AQM:           sc.NewAQM(s.RNG()),
 		Sojourn:       newQuantiler(sc.CompactMetrics),
-	}, d.Deliver)
+	}, deliver)
+	if sc.Impair != nil && sc.Impair.Rate != nil {
+		sc.Impair.Rate.Apply(s, l)
+	}
 
 	res := &Result{
 		DelaySeries:   stats.TimeSeries{Interval: sc.SampleEvery},
@@ -361,6 +392,11 @@ func Run(sc Scenario) *Result {
 			ur.LossRatio = float64(ur.LostBytes) / float64(ur.SentBytes)
 		}
 		res.UDP = append(res.UDP, ur)
+	}
+	if inj != nil {
+		res.FaultDrops = inj.Dropped
+		res.FaultDups = inj.Duplicated
+		res.FaultReorders = inj.Reordered
 	}
 	if msg := l.Audit().Err("bottleneck link"); msg != "" {
 		// A violated invariant means the run's numbers cannot be trusted;

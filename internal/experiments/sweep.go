@@ -78,8 +78,8 @@ func CoexistenceSweep(o Options) []SweepPoint {
 							"pair": pair, "aqm": aqmName,
 							"link_mbps": linkMbps, "rtt_ms": rtt.Seconds() * 1e3,
 						},
-						Run: func(seed int64) any {
-							return runSweepPoint(o, seed, linkMbps, rtt, aqmName, pair)
+						Run: func(tc *campaign.TaskCtx) any {
+							return runSweepPoint(o, tc, linkMbps, rtt, aqmName, pair)
 						},
 					})
 				}
@@ -96,7 +96,7 @@ func CoexistenceSweep(o Options) []SweepPoint {
 	return out
 }
 
-func runSweepPoint(o Options, seed int64, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
+func runSweepPoint(o Options, tc *campaign.TaskCtx, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
 	target := 20 * time.Millisecond
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
@@ -105,7 +105,8 @@ func runSweepPoint(o Options, seed int64, linkMbps float64, rtt time.Duration, a
 	// Converge for longer on big-BDP cells; measure over the second part.
 	dur := o.scale(100 * time.Second)
 	sc := Scenario{
-		Seed:        seed,
+		Seed:        tc.Seed,
+		Watch:       tc.Watch,
 		LinkRateBps: linkMbps * 1e6,
 		NewAQM:      factory,
 		Bulk: []traffic.BulkFlowSpec{

@@ -46,10 +46,11 @@ func FigFCT(o Options) *FCTResult {
 		tasks = append(tasks, campaign.Task{
 			Name: "fct/" + name, SeedIndex: 0,
 			Params: map[string]any{"aqm": name},
-			Run: func(seed int64) any {
+			Run: func(tc *campaign.TaskCtx) any {
 				factory, _ := FactoryByName(name, 20*time.Millisecond)
 				sc := Scenario{
-					Seed:        seed,
+					Seed:        tc.Seed,
+					Watch:       tc.Watch,
 					LinkRateBps: 40e6,
 					NewAQM:      factory,
 					// Long-running background load plus the short flows.

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LossModel decides, packet by packet, whether the channel loses the next
+// delivery. Implementations must consume a deterministic number of draws
+// from rng per call (state-dependent behavior is fine; state-dependent draw
+// counts would still be reproducible, but a fixed count keeps streams easy
+// to reason about), so a run's fault pattern depends only on its seed.
+type LossModel interface {
+	Lose(rng *rand.Rand) bool
+}
+
+// IIDLoss loses each packet independently with probability P.
+type IIDLoss struct {
+	P float64
+}
+
+// Lose draws one uniform variate per packet.
+func (m IIDLoss) Lose(rng *rand.Rand) bool { return rng.Float64() < m.P }
+
+// GilbertElliott is the classic two-state bursty-loss channel: a Markov
+// chain alternates between a Good and a Bad state, and each state loses
+// packets with its own probability. The common parameterization
+// (LossGood=0, LossBad=1) makes every Bad-state visit a loss burst whose
+// length is geometric with mean 1/PBG.
+//
+// The model is stateful: one instance serves one packet stream. The zero
+// state starts Good.
+type GilbertElliott struct {
+	// PGB is the per-packet probability of moving Good → Bad;
+	// PBG of moving Bad → Good.
+	PGB, PBG float64
+	// LossGood and LossBad are the per-packet loss probabilities inside
+	// each state.
+	LossGood, LossBad float64
+
+	bad bool
+}
+
+// Lose evaluates the loss in the current state, then advances the chain.
+// Evaluating before the transition is what gives the closed forms below:
+// the packet's fate depends on the state it found the channel in. Exactly
+// two variates are drawn per packet regardless of state.
+func (m *GilbertElliott) Lose(rng *rand.Rand) bool {
+	p := m.LossGood
+	if m.bad {
+		p = m.LossBad
+	}
+	lost := rng.Float64() < p
+	if m.bad {
+		if rng.Float64() < m.PBG {
+			m.bad = false
+		}
+	} else {
+		if rng.Float64() < m.PGB {
+			m.bad = true
+		}
+	}
+	return lost
+}
+
+// StationaryLoss returns the chain's long-run loss probability:
+// π_bad·LossBad + π_good·LossGood with π_bad = PGB/(PGB+PBG).
+func (m *GilbertElliott) StationaryLoss() float64 {
+	d := m.PGB + m.PBG
+	if d == 0 {
+		// The chain never leaves its initial (Good) state.
+		return m.LossGood
+	}
+	piBad := m.PGB / d
+	return piBad*m.LossBad + (1-piBad)*m.LossGood
+}
+
+// MeanBurstLen returns the expected length of a consecutive-loss run for
+// the on/off parameterization (LossGood=0, LossBad=1): the Bad-state
+// holding time, 1/PBG.
+func (m *GilbertElliott) MeanBurstLen() float64 {
+	if m.PBG == 0 {
+		return math.Inf(1)
+	}
+	return 1 / m.PBG
+}

@@ -78,9 +78,12 @@ func (a *Auditor) clock(now time.Duration) {
 	a.lastEvent = now
 }
 
-// conserve asserts the continuous conservation identities against the
-// queue's live occupancy.
-func (a *Auditor) conserve(now time.Duration, backlogPackets, backlogBytes int) {
+// Conserve asserts the continuous conservation identities against the
+// queue's live occupancy. The observation methods below are exported so
+// other bottleneck implementations (core.DualLink) can wire the same
+// auditor into their data paths; within a single simulation they are only
+// ever called from that simulation's goroutine.
+func (a *Auditor) Conserve(now time.Duration, backlogPackets, backlogBytes int) {
 	if backlogPackets < 0 || backlogBytes < 0 {
 		a.violate(now, "negative occupancy: backlog %d packets / %d bytes",
 			backlogPackets, backlogBytes)
@@ -107,8 +110,8 @@ func (a *Auditor) conserve(now time.Duration, backlogPackets, backlogBytes int) 
 	}
 }
 
-// offered observes a packet arriving at the queue, before any verdict.
-func (a *Auditor) offered(p *packet.Packet, now time.Duration) {
+// Offered observes a packet arriving at the queue, before any verdict.
+func (a *Auditor) Offered(p *packet.Packet, now time.Duration) {
 	a.clock(now)
 	a.OfferedPackets++
 	a.OfferedBytes += int64(p.WireLen)
@@ -117,9 +120,9 @@ func (a *Auditor) offered(p *packet.Packet, now time.Duration) {
 	}
 }
 
-// droppedPkt observes a drop. fromQueue distinguishes a head drop (the
+// DroppedPkt observes a drop. fromQueue distinguishes a head drop (the
 // packet was already accepted into the backlog) from an enqueue-time drop.
-func (a *Auditor) droppedPkt(p *packet.Packet, now time.Duration, fromQueue bool) {
+func (a *Auditor) DroppedPkt(p *packet.Packet, now time.Duration, fromQueue bool) {
 	a.DroppedPackets++
 	a.DroppedBytes += int64(p.WireLen)
 	if fromQueue {
@@ -131,8 +134,8 @@ func (a *Auditor) droppedPkt(p *packet.Packet, now time.Duration, fromQueue bool
 	}
 }
 
-// marked observes a CE mark; p still carries its pre-mark codepoint.
-func (a *Auditor) marked(p *packet.Packet, now time.Duration) {
+// Marked observes a CE mark; p still carries its pre-mark codepoint.
+func (a *Auditor) Marked(p *packet.Packet, now time.Duration) {
 	a.MarkedPackets++
 	if !p.ECN.ECNCapable() {
 		a.violate(now, "ECN sanity: CE mark on %v packet (flow %d seq %d)",
@@ -140,21 +143,21 @@ func (a *Auditor) marked(p *packet.Packet, now time.Duration) {
 	}
 }
 
-// accepted observes a packet entering the backlog.
-func (a *Auditor) accepted(p *packet.Packet, now time.Duration) {
+// Accepted observes a packet entering the backlog.
+func (a *Auditor) Accepted(p *packet.Packet, now time.Duration) {
 	a.AcceptedPackets++
 	a.AcceptedBytes += int64(p.WireLen)
 }
 
-// dequeued observes a packet leaving the backlog for the transmitter.
-func (a *Auditor) dequeued(p *packet.Packet, now time.Duration) {
+// Dequeued observes a packet leaving the backlog for the transmitter.
+func (a *Auditor) Dequeued(p *packet.Packet, now time.Duration) {
 	a.clock(now)
 	a.DequeuedPackets++
 	a.DequeuedBytes += int64(p.WireLen)
 }
 
-// delivered observes a packet completing serialization.
-func (a *Auditor) delivered(p *packet.Packet, now time.Duration) {
+// Delivered observes a packet completing serialization.
+func (a *Auditor) Delivered(p *packet.Packet, now time.Duration) {
 	a.clock(now)
 	a.DeliveredPackets++
 	a.DeliveredBytes += int64(p.WireLen)

@@ -104,7 +104,7 @@ func TestAuditViolationCap(t *testing.T) {
 	var a Auditor
 	p := packet.NewData(1, 0, packet.MSS, packet.NotECT)
 	for i := 0; i < 100; i++ {
-		a.marked(p, time.Duration(i))
+		a.Marked(p, time.Duration(i))
 	}
 	v := a.Violations()
 	if len(v) > maxViolations+1 {
@@ -121,8 +121,8 @@ func TestAuditViolationCap(t *testing.T) {
 func TestAuditClockMonotone(t *testing.T) {
 	var a Auditor
 	p := packet.NewData(1, 0, packet.MSS, packet.ECT0)
-	a.offered(p, 5*time.Millisecond)
-	a.offered(p, 3*time.Millisecond)
+	a.Offered(p, 5*time.Millisecond)
+	a.Offered(p, 3*time.Millisecond)
 	v := a.Violations()
 	if len(v) != 1 || !strings.Contains(v[0], "monotone clock") {
 		t.Fatalf("backwards clock not flagged: %v", v)

@@ -24,6 +24,11 @@ const (
 	DropAQM DropReason = iota
 	// DropOverflow is a tail-drop because the buffer was full.
 	DropOverflow
+	// DropFault is a loss injected by the impairment layer (internal/faults)
+	// after the packet left the bottleneck — channel loss, not queue policy.
+	// The link itself never drops with this reason; it exists so OnDrop
+	// observers and loss statistics can tell injected faults apart.
+	DropFault
 )
 
 // Config describes a bottleneck link.
@@ -147,7 +152,7 @@ func (l *Link) Enqueue(p *packet.Packet) {
 	}
 	now := l.sim.Now()
 	l.enqueues++
-	l.aud.offered(p, now)
+	l.aud.Offered(p, now)
 	if len(l.queue)-l.head >= l.cfg.BufferPackets {
 		l.drop(p, DropOverflow, false)
 		return
@@ -157,15 +162,15 @@ func (l *Link) Enqueue(p *packet.Packet) {
 		l.drop(p, DropAQM, false)
 		return
 	case aqm.Mark:
-		l.aud.marked(p, now)
+		l.aud.Marked(p, now)
 		p.ECN = packet.CE
 		l.marks++
 	}
 	p.EnqueuedAt = now
 	l.queue = append(l.queue, p)
 	l.bytes += p.WireLen
-	l.aud.accepted(p, now)
-	l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
+	l.aud.Accepted(p, now)
+	l.aud.Conserve(now, len(l.queue)-l.head, l.bytes)
 	if !l.busy {
 		l.startTx()
 	}
@@ -175,7 +180,7 @@ func (l *Link) Enqueue(p *packet.Packet) {
 // already-accepted packet (the auditor's conservation split needs it).
 func (l *Link) drop(p *packet.Packet, r DropReason, fromQueue bool) {
 	now := l.sim.Now()
-	l.aud.droppedPkt(p, now, fromQueue)
+	l.aud.DroppedPkt(p, now, fromQueue)
 	l.drops[r]++
 	if l.OnDrop != nil {
 		l.OnDrop(p, r)
@@ -185,7 +190,7 @@ func (l *Link) drop(p *packet.Packet, r DropReason, fromQueue bool) {
 		// ownership because tests retain dropped packets for inspection.)
 		l.pool.Release(p)
 	}
-	l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
+	l.aud.Conserve(now, len(l.queue)-l.head, l.bytes)
 }
 
 // startTx pops the head of the queue and begins serializing it. Dequeue-time
@@ -218,14 +223,14 @@ func (l *Link) startTx() {
 				continue
 			}
 			if v == aqm.Mark {
-				l.aud.marked(p, now)
+				l.aud.Marked(p, now)
 				p.ECN = packet.CE
 				l.marks++
 			}
 		}
 		l.dequeues++
-		l.aud.dequeued(p, now)
-		l.aud.conserve(now, len(l.queue)-l.head, l.bytes)
+		l.aud.Dequeued(p, now)
+		l.aud.Conserve(now, len(l.queue)-l.head, l.bytes)
 		l.aqm.Dequeue(p, l, now)
 		break
 	}
@@ -246,7 +251,7 @@ func (l *Link) txDone() {
 	l.txPkt = nil
 	l.busyTotal += l.sim.Now() - l.busySince
 	l.Delivered.Add(p.WireLen)
-	l.aud.delivered(p, l.sim.Now())
+	l.aud.Delivered(p, l.sim.Now())
 	l.deliver(p)
 	l.busy = false
 	if len(l.queue)-l.head > 0 {

@@ -19,6 +19,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"pi2/internal/packet"
@@ -114,7 +115,45 @@ type Simulator struct {
 	// MaxEvents aborts Run with a panic if exceeded (0 = unlimited).
 	// It is a guard against accidentally unbounded simulations in tests.
 	MaxEvents uint64
+
+	// canceled is the cooperative-cancellation flag; it is the only
+	// simulator state another goroutine may touch (the campaign watchdog
+	// calls Cancel from its monitor goroutine). cancelMsg is written before
+	// the flag's release-store, so the Step that observes the flag also
+	// sees the reason.
+	canceled  atomic.Bool
+	cancelMsg string
+	// nowAtomic mirrors now so NowNanos can be read from other goroutines
+	// (the watchdog's sim-time stall detector) without a lock.
+	nowAtomic atomic.Int64
 }
+
+// Canceled is the panic value Step raises after Cancel. It unwinds the
+// simulation loop to whoever owns the run (the campaign engine recovers it
+// and marks the cell timed-out instead of failed-with-a-bug).
+type Canceled struct{ Reason string }
+
+// CancelReason marks the panic as a cooperative cancellation; callers detect
+// it structurally (interface{ CancelReason() string }) so packages that
+// recover it need not import sim.
+func (c Canceled) CancelReason() string { return c.Reason }
+
+func (c Canceled) String() string { return "sim: canceled: " + c.Reason }
+
+// Cancel requests that the simulation stop at the next event boundary: the
+// next Step call panics with Canceled{Reason}. It is the one Simulator
+// method that is safe to call from another goroutine; everything else is
+// single-threaded. Cancel never interrupts an event callback mid-flight —
+// a callback that loops forever can only be abandoned, not canceled.
+func (s *Simulator) Cancel(reason string) {
+	s.cancelMsg = reason
+	s.canceled.Store(true)
+}
+
+// NowNanos returns the virtual clock in integer nanoseconds, readable from
+// any goroutine. The campaign watchdog polls it to detect cells whose wall
+// clock runs but whose virtual clock does not (a stuck control loop).
+func (s *Simulator) NowNanos() int64 { return s.nowAtomic.Load() }
 
 // New returns a Simulator whose RNG streams derive from seed.
 func New(seed int64) *Simulator {
@@ -204,6 +243,9 @@ func (s *Simulator) Every(interval time.Duration, fn Event) Timer {
 
 // Step executes the next pending event, if any, and reports whether one ran.
 func (s *Simulator) Step() bool {
+	if s.canceled.Load() {
+		panic(Canceled{Reason: s.cancelMsg})
+	}
 	for len(s.heap) > 0 {
 		idx := s.popTop()
 		sl := &s.slab[idx]
@@ -220,6 +262,7 @@ func (s *Simulator) Step() bool {
 			panic(fmt.Sprintf("sim: clock went backwards: next event at %v, now %v", sl.at, s.now))
 		}
 		s.now = sl.at
+		s.nowAtomic.Store(int64(sl.at))
 		s.processed++
 		if s.MaxEvents > 0 && s.processed > s.MaxEvents {
 			panic("sim: MaxEvents exceeded")
@@ -257,6 +300,7 @@ func (s *Simulator) RunUntil(end time.Duration) {
 	}
 	if s.now < end {
 		s.now = end
+		s.nowAtomic.Store(int64(end))
 	}
 }
 

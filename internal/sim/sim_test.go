@@ -429,3 +429,52 @@ func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
 
 // nop is package-level so scheduling it captures nothing.
 func nop() {}
+
+func TestCancelStopsRunWithReason(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	s.Every(time.Millisecond, func() {
+		ticks++
+		if ticks == 5 {
+			s.Cancel("test verdict")
+		}
+	})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("canceled run did not panic")
+		}
+		c, ok := p.(Canceled)
+		if !ok {
+			t.Fatalf("panic value %T, want sim.Canceled", p)
+		}
+		if c.Reason != "test verdict" {
+			t.Errorf("reason %q", c.Reason)
+		}
+		if c.CancelReason() != c.Reason {
+			t.Error("CancelReason does not echo the reason")
+		}
+		// The in-flight callback finishes before the unwind: exactly the
+		// 5 ticks that ran, never a 6th.
+		if ticks != 5 {
+			t.Errorf("%d ticks ran after cancellation", ticks)
+		}
+	}()
+	s.RunUntil(time.Second)
+}
+
+func TestNowNanosTracksVirtualClock(t *testing.T) {
+	s := New(1)
+	if got := s.NowNanos(); got != 0 {
+		t.Fatalf("initial NowNanos %d", got)
+	}
+	var seen int64
+	s.At(3*time.Millisecond, func() { seen = s.NowNanos() })
+	s.RunUntil(10 * time.Millisecond)
+	if seen != int64(3*time.Millisecond) {
+		t.Errorf("NowNanos inside event %d, want 3ms", seen)
+	}
+	if got := s.NowNanos(); got != int64(10*time.Millisecond) {
+		t.Errorf("NowNanos after RunUntil %d, want 10ms", got)
+	}
+}

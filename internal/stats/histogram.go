@@ -177,6 +177,31 @@ func (h *LogHistogram) Percentiles(qs ...float64) []float64 {
 	return out
 }
 
+// Merge folds another histogram into h: bin counts add, the Welford
+// moments combine exactly (Chan et al.), and min/max stay exact. Both
+// histograms must share bin geometry (same floor, relative width and bin
+// count — e.g. two NewDelayHistogram instances); merging mismatched
+// geometries would silently misfile counts, so it panics instead.
+func (h *LogHistogram) Merge(other *LogHistogram) {
+	if other.floor != h.floor || other.logWidth != h.logWidth || len(other.bins) != len(h.bins) {
+		panic("stats: LogHistogram.Merge requires identical bin geometry")
+	}
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.bins {
+		h.bins[i] += c
+	}
+	h.n += other.n
+	h.w.Merge(other.w)
+}
+
 // Reset discards all observations; the bin array is kept and zeroed.
 func (h *LogHistogram) Reset() {
 	clear(h.bins)

@@ -187,3 +187,99 @@ func TestQuantilerInterfaceParity(t *testing.T) {
 		}
 	}
 }
+
+func TestWelfordMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, pooled Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.ExpFloat64() * 3
+		a.Add(x)
+		pooled.Add(x)
+	}
+	for i := 0; i < 1700; i++ {
+		x := rng.NormFloat64()*2 + 10
+		b.Add(x)
+		pooled.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != pooled.N() {
+		t.Fatalf("merged n=%d, pooled n=%d", a.N(), pooled.N())
+	}
+	if d := math.Abs(a.Mean() - pooled.Mean()); d > 1e-9 {
+		t.Errorf("merged mean %v vs pooled %v", a.Mean(), pooled.Mean())
+	}
+	if d := math.Abs(a.Var() - pooled.Var()); d > 1e-6*pooled.Var() {
+		t.Errorf("merged var %v vs pooled %v", a.Var(), pooled.Var())
+	}
+
+	// Merging into or from an empty accumulator must be exact.
+	var empty Welford
+	empty.Merge(a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() || empty.Var() != a.Var() {
+		t.Error("merge into empty accumulator not identity")
+	}
+	before := a
+	a.Merge(Welford{})
+	if a != before {
+		t.Error("merging an empty accumulator changed the receiver")
+	}
+}
+
+func TestLogHistogramMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ha := NewDelayHistogram()
+	hb := NewDelayHistogram()
+	pooledH := NewDelayHistogram()
+	var exact Sample
+	for i := 0; i < 4000; i++ {
+		x := rng.ExpFloat64() * 0.02 // exponential delays around 20 ms
+		ha.Add(x)
+		pooledH.Add(x)
+		exact.Add(x)
+	}
+	for i := 0; i < 2500; i++ {
+		x := math.Abs(rng.NormFloat64())*0.001 + 1e-7 // some below the 1 µs floor
+		hb.Add(x)
+		pooledH.Add(x)
+		exact.Add(x)
+	}
+	ha.Merge(hb)
+
+	if ha.N() != pooledH.N() {
+		t.Fatalf("merged n=%d, pooled n=%d", ha.N(), pooledH.N())
+	}
+	if ha.Min() != pooledH.Min() || ha.Max() != pooledH.Max() {
+		t.Errorf("merged min/max %v/%v vs pooled %v/%v",
+			ha.Min(), ha.Max(), pooledH.Min(), pooledH.Max())
+	}
+	if d := math.Abs(ha.Mean() - exact.Mean()); d > 1e-12+1e-9*exact.Mean() {
+		t.Errorf("merged mean %v vs exact %v", ha.Mean(), exact.Mean())
+	}
+	if d := math.Abs(ha.Stddev() - exact.Stddev()); d > 1e-9*exact.Stddev() {
+		t.Errorf("merged stddev %v vs exact %v", ha.Stddev(), exact.Stddev())
+	}
+	// Percentiles of the merged histogram must match a histogram that saw
+	// the pooled stream bin-for-bin, and track the exact sample within the
+	// construction-time relative width.
+	for _, q := range []float64{1, 25, 50, 90, 99, 99.9} {
+		m, p := ha.Percentile(q), pooledH.Percentile(q)
+		if m != p {
+			t.Errorf("p%g: merged %v != pooled-stream %v", q, m, p)
+		}
+		e := exact.Percentile(q)
+		if e > 2e-6 { // skip sub-floor values: absolute error bounded by floor
+			if rel := math.Abs(m-e) / e; rel > 0.03 {
+				t.Errorf("p%g: merged %v vs exact %v (rel err %.3f)", q, m, e, rel)
+			}
+		}
+	}
+}
+
+func TestLogHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched geometries did not panic")
+		}
+	}()
+	NewLogHistogram(1e-6, 1e4, 0.02).Merge(NewLogHistogram(1e-6, 1e4, 0.05))
+}

@@ -42,6 +42,25 @@ func (w *Welford) Var() float64 {
 // Stddev returns the sample standard deviation.
 func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
 
+// Merge folds another accumulator into w using the parallel-variance
+// combination (Chan et al.): the merged moments are exactly those of the
+// concatenated observation streams, up to floating-point rounding.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	n := n1 + n2
+	d := o.mean - w.mean
+	w.mean += d * n2 / n
+	w.m2 += o.m2 + d*d*n1*n2/n
+	w.n += o.n
+}
+
 // Sample collects raw observations for exact percentiles.
 // The zero value is ready to use.
 type Sample struct {
