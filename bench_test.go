@@ -600,6 +600,90 @@ func BenchmarkManyFlows(b *testing.B) {
 	b.ReportMetric(float64(s.Processed())/float64(b.N), "events/op")
 }
 
+// BenchmarkShardedManyFlows is the sharded twin of BenchmarkManyFlows: the
+// same 1000-flow PI2 cell partitioned across 3 endpoint domains plus a link
+// domain on the conservative-PDES coordinator (10 ms RTT splits into 5 ms
+// wires; lookahead 5 ms). One op is one virtual second after warm-up. On a
+// single core this pays the window/merge overhead; on a multi-core runner
+// the domains execute in parallel and ns/op drops below BenchmarkManyFlows
+// (the ISSUE-6 target: ≥3x on 8 cores at the 5000-flow scale).
+func BenchmarkShardedManyFlows(b *testing.B) {
+	const (
+		flows   = 1000
+		domains = 4 // one link domain + three endpoint domains
+		oneWay  = 5 * time.Millisecond
+	)
+	co := sim.NewCoordinator(1, domains, oneWay)
+	linkDom := co.Domain(0)
+	type route struct {
+		dom  int
+		hand func(*packet.Packet)
+	}
+	routes := make([]route, flows+1)
+	l := link.New(linkDom.Sim(), link.Config{
+		RateBps: 2e6 * flows,
+		AQM:     core.New(core.Config{}, linkDom.Sim().RNG()),
+		Sojourn: stats.NewDelayHistogram(),
+	}, func(p *packet.Packet) {
+		r := routes[p.FlowID]
+		linkDom.Send(r.dom, oneWay, p, r.hand)
+	})
+	linkEnq := l.Enqueue // hoisted: a per-Send method value would allocate
+	for id := 1; id <= flows; id++ {
+		var cc tcp.CongestionControl
+		mode := tcp.ECNOff
+		switch id % 3 {
+		case 0:
+			cc = tcp.Reno{}
+		case 1:
+			cc = &tcp.Cubic{}
+		case 2:
+			cc = &tcp.DCTCP{}
+			mode = tcp.ECNScalable
+		}
+		dom := co.Domain(1 + id%(domains-1))
+		enq := func(p *packet.Packet) { dom.Send(0, oneWay, p, linkEnq) }
+		ep := tcp.NewWithEnqueuer(dom.Sim(), enq, tcp.Config{
+			ID: id, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond,
+			SplitPropagation: true,
+		})
+		routes[id] = route{dom: dom.ID(), hand: ep.DeliverData}
+		ep.Start()
+	}
+	co.RunUntil(time.Second) // warm up: slow start, queue fill, pool growth
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co.RunUntil(time.Duration(i+2) * time.Second)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(co.Processed())/float64(b.N), "events/op")
+	if msg := l.Audit().Err("bottleneck link"); msg != "" {
+		b.Fatal(msg)
+	}
+}
+
+// BenchmarkCoordinatorOverhead pins the shards=1 degeneracy: a one-domain
+// coordinator must add nothing to the raw event loop (no goroutines, no
+// windows — RunUntil delegates straight to the slab scheduler), so its
+// ns/op and allocs/op budgets match BenchmarkSimulatorEventLoop's.
+func BenchmarkCoordinatorOverhead(b *testing.B) {
+	co := sim.NewCoordinator(1, 1, 0)
+	s := co.Domain(0).Sim()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	co.RunUntil(time.Duration(b.N+1) * time.Microsecond)
+}
+
 // BenchmarkAblationSACK compares NewReno and SACK recovery for a Classic
 // flow sharing a PI2 queue with DCTCP — loss-recovery efficiency is one of
 // the two reasons the measured coexistence ratio sits below 1 (see

@@ -15,6 +15,15 @@
 // in its matrix, never from scheduling order. -json additionally writes
 // every run's record (params, wall time, events/sec) to a file.
 //
+// -shards N partitions each cell's simulation across N event-loop domains
+// (conservative PDES with propagation-delay lookahead; see DESIGN.md). The
+// default 1 is the classic single loop and stays byte-identical to older
+// builds; a fixed N > 1 is deterministic too, but produces its own (equally
+// valid) event interleaving. -reps N repeats heavy/sweep cells with
+// perturbed seeds and prints cross-seed 95% confidence bands. -target
+// overrides those drivers' AQM target delay (paper default 20 ms; Briscoe's
+// "PI2 Parameters" report recommends 15 ms, the Linux dualpi2 default).
+//
 // -cell-timeout and -cell-stall arm a per-cell watchdog (wall-clock budget
 // and simulated-clock stall detection); -retries re-runs killed or panicking
 // cells with a perturbed seed. Failed cells are reported in the output and
@@ -50,6 +59,9 @@ func main() {
 	timeDiv := flag.Int("timediv", 0, "divide experiment durations by N (overrides -quick's 5x; 0 = off)")
 	seed := flag.Int64("seed", 1, "campaign base seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	shards := flag.Int("shards", 1, "event-loop domains per simulation (conservative PDES); 1 = classic single loop")
+	reps := flag.Int("reps", 1, "repeat heavy/sweep cells N times with perturbed seeds and print ± confidence bands")
+	targetMs := flag.Int("target", 0, "AQM target delay in ms for heavy/sweep/chaos (0 = the paper's 20; Briscoe's PI2 Parameters report suggests 15)")
 	jsonPath := flag.String("json", "", "write per-run records (params, timing, events/sec) to this file")
 	verbose := flag.Bool("v", false, "report each run's completion on stderr")
 	check := flag.Bool("check", false, "compare golden-scale fingerprints against the checked-in baselines")
@@ -63,7 +75,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-json file] [-v]\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-shards N] [-reps N]\n")
+		fmt.Fprintf(os.Stderr, "                [-target ms] [-json file] [-v]\n")
 		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
@@ -108,6 +121,7 @@ func main() {
 
 	ctx := &campaign.Context{
 		Quick: *quick, TimeDiv: *timeDiv, Seed: *seed, Jobs: *jobs,
+		Shards: *shards, Reps: *reps, TargetMs: *targetMs,
 		Watchdog: campaign.Watchdog{Timeout: *cellTimeout, Stall: *cellStall},
 		Retries:  *retries,
 	}

@@ -58,6 +58,10 @@ type TaskCtx struct {
 	Seed int64
 	// Attempt counts retries, starting at 0.
 	Attempt int
+	// Shards is the campaign-wide simulation shard count (ExecOptions.
+	// Shards); cells that build shardable scenarios run them on that many
+	// event-loop domains. 0 or 1 means the classic single-loop path.
+	Shards int
 
 	mu       sync.Mutex
 	watched  []Canceler
@@ -194,6 +198,11 @@ type ProgressFunc func(done, total int, rec RunRecord)
 type ExecOptions struct {
 	// Jobs is the worker-pool width; <= 0 means runtime.GOMAXPROCS(0).
 	Jobs int
+	// Shards is the per-cell simulation shard count handed to every
+	// TaskCtx; 0 or 1 selects the classic single-event-loop path. Note the
+	// distinction from Jobs: Jobs parallelizes across cells, Shards
+	// parallelizes inside one cell.
+	Shards int
 	// BaseSeed is the campaign's base seed; each task runs with
 	// DeriveSeed(BaseSeed, task.SeedIndex).
 	BaseSeed int64
@@ -313,7 +322,7 @@ func runTask(t Task, index int, opt ExecOptions) RunRecord {
 	var rec RunRecord
 	for attempt := 0; ; attempt++ {
 		var abandoned bool
-		rec, abandoned = runAttempt(t, index, PerturbSeed(base, attempt), attempt, opt.Watchdog)
+		rec, abandoned = runAttempt(t, index, PerturbSeed(base, attempt), attempt, opt)
 		rec.Attempts = attempt + 1
 		if rec.Err == "" || abandoned || attempt >= opt.Retries {
 			return rec
@@ -330,11 +339,12 @@ func runTask(t Task, index int, opt ExecOptions) RunRecord {
 // wall time and virtual-clock progress, cancels on a breach, and abandons
 // the goroutine if the attempt ignores cancellation past the grace period
 // (abandoned is then true and the record marked TimedOut).
-func runAttempt(t Task, index int, seed int64, attempt int, wd Watchdog) (RunRecord, bool) {
+func runAttempt(t Task, index int, seed int64, attempt int, opt ExecOptions) (RunRecord, bool) {
+	wd := opt.Watchdog
+	tc := &TaskCtx{Seed: seed, Attempt: attempt, Shards: opt.Shards}
 	if !wd.enabled() {
-		return execAttempt(t, index, seed, attempt, nil), false
+		return execAttempt(t, index, seed, attempt, tc), false
 	}
-	tc := &TaskCtx{Seed: seed, Attempt: attempt}
 	resCh := make(chan RunRecord, 1) // buffered: an abandoned attempt's send must not block
 	go func() {
 		resCh <- execAttempt(t, index, seed, attempt, tc)

@@ -85,6 +85,15 @@ type Context struct {
 	Seed int64
 	// Jobs is the worker-pool width passed to Execute.
 	Jobs int
+	// Shards is the per-cell simulation shard count passed through
+	// ExecOptions to every TaskCtx (0/1 = classic single event loop).
+	Shards int
+	// Reps repeats each table cell with perturbed seeds and reports
+	// cross-seed confidence bands; 0/1 keeps the single-run tables.
+	Reps int
+	// TargetMs overrides the AQM target delay (milliseconds) in the
+	// experiments that default to the paper's 20 ms; 0 keeps the default.
+	TargetMs int
 	// Progress, if set, observes every completed run.
 	Progress ProgressFunc
 	// Collector, if set, accumulates every RunRecord for -json output.

@@ -153,7 +153,7 @@ func chaosDuration(o Options) time.Duration {
 // runChaosCell is a single-queue cell (PIE or PI2) through the scenario
 // runner with the cell's own impairment config.
 func runChaosCell(o Options, tc *campaign.TaskCtx, scenario, aqmName string) ChaosPoint {
-	target := 20 * time.Millisecond
+	target := o.target()
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
 		panic("unknown AQM " + aqmName)
@@ -162,6 +162,7 @@ func runChaosCell(o Options, tc *campaign.TaskCtx, scenario, aqmName string) Cha
 	sc := Scenario{
 		Seed:        tc.Seed,
 		Watch:       tc.Watch,
+		Shards:      tc.Shards,
 		LinkRateBps: chaosLinkBps,
 		NewAQM:      factory,
 		Impair:      chaosImpair(scenario, o),

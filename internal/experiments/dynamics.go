@@ -34,6 +34,20 @@ type Options struct {
 	// the doubling wait between attempts.
 	Retries      int
 	RetryBackoff time.Duration
+	// Shards partitions each cell's simulation across this many event-loop
+	// domains (conservative PDES); 0/1 keeps the classic single loop.
+	// Scenarios that cannot shard (too few flows, no propagation delay)
+	// ignore it.
+	Shards int
+	// Reps repeats each heavy/sweep cell with perturbed seeds and reports
+	// cross-seed confidence bands; 0/1 keeps the single-run tables
+	// (byte-identical to builds without the knob).
+	Reps int
+	// Target overrides the AQM target delay in the drivers that default
+	// to the paper's 20 ms (heavy, sweep, chaos). 0 keeps 20 ms. Briscoe's
+	// "PI2 Parameters" follow-up recommends 15 ms for the Linux dualpi2
+	// default; goldens pin 20 ms, so overrides never regress them.
+	Target time.Duration
 }
 
 func (o Options) seed() int64 {
@@ -41,6 +55,23 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// reps returns the effective repetition count (at least 1).
+func (o Options) reps() int {
+	if o.Reps < 1 {
+		return 1
+	}
+	return o.Reps
+}
+
+// target returns the effective AQM target delay: the paper's 20 ms unless
+// overridden.
+func (o Options) target() time.Duration {
+	if o.Target > 0 {
+		return o.Target
+	}
+	return 20 * time.Millisecond
 }
 
 // exec assembles the campaign executor options for a grid driver.
@@ -51,6 +82,7 @@ func (o Options) exec() campaign.ExecOptions {
 	}
 	return campaign.ExecOptions{
 		Jobs:         jobs,
+		Shards:       o.Shards,
 		BaseSeed:     o.seed(),
 		Progress:     o.Progress,
 		Collector:    o.Collect,

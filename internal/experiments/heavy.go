@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -53,6 +54,19 @@ type HeavyPoint struct {
 	EventsPerSec float64
 	// SimSecPerWallSec is simulated seconds per wall-clock second.
 	SimSecPerWallSec float64
+
+	// Reps > 1 marks a cross-seed aggregate: the cell ran Reps times with
+	// perturbed seeds, the point estimates above are cross-seed means (with
+	// sojourn quantiles from the reps' pooled histograms), each *HW is the
+	// 95% confidence half-width (1.96·s/√n), and RateCoV is the pooled
+	// per-flow-rate coefficient of variation. Reps <= 1 is a single run
+	// with all of these zero.
+	Reps                            int
+	JainHW, QMeanHW, QP99HW, UtilHW float64
+	RateCoV                         float64
+
+	soj   *stats.LogHistogram // this rep's sojourn histogram (pooled via Merge)
+	rateW stats.Welford       // this rep's per-flow-rate moments (pooled via Merge)
 }
 
 // EventCount satisfies campaign.EventCounter for per-run events/sec records.
@@ -89,42 +103,60 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 	if o.Quick {
 		counts = []int{10, 100}
 	}
+	reps := o.reps()
 	var tasks []campaign.Task
 	for _, aqmName := range HeavyAQMs {
 		for _, n := range counts {
-			aqmName, n := aqmName, n
-			tasks = append(tasks, campaign.Task{
-				Name:      "heavy",
-				SeedIndex: len(tasks),
-				Params:    map[string]any{"aqm": aqmName, "flows": n},
-				Run: func(tc *campaign.TaskCtx) any {
-					if aqmName == "dualpi2" {
-						return runHeavyDual(o, tc, n)
-					}
-					return runHeavyCell(o, tc, n, aqmName)
-				},
-			})
+			for rep := 0; rep < reps; rep++ {
+				aqmName, n := aqmName, n
+				// The rep loop is innermost with SeedIndex = len(tasks), so
+				// at reps=1 the cell→seed mapping is exactly the historical
+				// one and the table stays byte-identical.
+				tasks = append(tasks, campaign.Task{
+					Name:      "heavy",
+					SeedIndex: len(tasks),
+					Params:    map[string]any{"aqm": aqmName, "flows": n, "rep": rep},
+					Run: func(tc *campaign.TaskCtx) any {
+						if aqmName == "dualpi2" {
+							return runHeavyDual(o, tc, n)
+						}
+						return runHeavyCell(o, tc, n, aqmName)
+					},
+				})
+			}
 		}
 	}
 	recs := campaign.Execute(tasks, o.exec())
 	var out []HeavyPoint
 	var failed []string
-	for _, rec := range recs {
-		if rec.Err != "" {
-			failed = append(failed, fmt.Sprintf("%s/%v flows=%v: %s",
-				rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Err))
+	for base := 0; base < len(recs); base += reps {
+		var pts []HeavyPoint
+		var wallMs float64
+		var events uint64
+		for _, rec := range recs[base : base+reps] {
+			if rec.Err != "" {
+				failed = append(failed, fmt.Sprintf("%s/%v flows=%v rep=%v: %s",
+					rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Params["rep"], rec.Err))
+				continue
+			}
+			p, ok := rec.Result.(HeavyPoint)
+			if !ok {
+				failed = append(failed, fmt.Sprintf("%s/%v flows=%v rep=%v: no result",
+					rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Params["rep"]))
+				continue
+			}
+			wallMs += rec.WallMs
+			events += p.Events
+			pts = append(pts, p)
+		}
+		if len(pts) == 0 {
 			continue
 		}
-		p, ok := rec.Result.(HeavyPoint)
-		if !ok {
-			failed = append(failed, fmt.Sprintf("%s/%v flows=%v: no result",
-				rec.Name, rec.Params["aqm"], rec.Params["flows"]))
-			continue
-		}
-		p.WallMs = rec.WallMs
-		p.EventsPerSec = rec.EventsPerSec
-		if rec.WallMs > 0 {
-			p.SimSecPerWallSec = heavyDuration(o).Seconds() / (rec.WallMs / 1e3)
+		p := aggregateHeavy(pts)
+		p.WallMs = wallMs
+		if wallMs > 0 {
+			p.EventsPerSec = float64(events) / (wallMs / 1e3)
+			p.SimSecPerWallSec = heavyDuration(o).Seconds() * float64(len(pts)) / (wallMs / 1e3)
 		}
 		out = append(out, p)
 	}
@@ -134,6 +166,57 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 	return out, nil
 }
 
+// aggregateHeavy folds one cell's repetitions into a banded point: scalar
+// metrics via per-rep Welford accumulators (cross-seed mean ± 95% CI),
+// sojourn quantiles via LogHistogram.Merge over the reps' pooled histograms,
+// and per-flow-rate spread via Welford.Merge of the per-rep accumulators.
+// One rep passes through untouched, keeping single-run tables byte-stable.
+func aggregateHeavy(pts []HeavyPoint) HeavyPoint {
+	if len(pts) == 1 {
+		return pts[0]
+	}
+	agg := pts[0]
+	var jain, qmean, qp99, util stats.Welford
+	pooled := stats.NewDelayHistogram()
+	var rates stats.Welford
+	var events uint64
+	for _, p := range pts {
+		jain.Add(p.Jain)
+		qmean.Add(p.QMeanMs)
+		qp99.Add(p.QP99Ms)
+		util.Add(p.Util)
+		if p.soj != nil {
+			pooled.Merge(p.soj)
+		}
+		rates.Merge(p.rateW)
+		events += p.Events
+	}
+	agg.Reps = len(pts)
+	agg.Jain, agg.JainHW = jain.Mean(), ci95(jain)
+	agg.Util, agg.UtilHW = util.Mean(), ci95(util)
+	agg.QMeanHW, agg.QP99HW = ci95(qmean), ci95(qp99)
+	if pooled.N() > 0 {
+		agg.QMeanMs = pooled.Mean() * 1e3
+		agg.QP99Ms = pooled.Percentile(99) * 1e3
+	} else {
+		agg.QMeanMs, agg.QP99Ms = qmean.Mean(), qp99.Mean()
+	}
+	if m := rates.Mean(); m > 0 {
+		agg.RateCoV = rates.Stddev() / m
+	}
+	agg.Events = events / uint64(len(pts))
+	agg.soj, agg.rateW = pooled, rates
+	return agg
+}
+
+// ci95 is the normal-approximation 95% confidence half-width of the mean.
+func ci95(w stats.Welford) float64 {
+	if w.N() < 2 {
+		return 0
+	}
+	return 1.96 * w.Stddev() / math.Sqrt(float64(w.N()))
+}
+
 func heavyDuration(o Options) time.Duration {
 	return o.scale(20 * time.Second)
 }
@@ -141,7 +224,7 @@ func heavyDuration(o Options) time.Duration {
 // runHeavyCell is a single-queue cell (PIE or PI2) through the standard
 // scenario runner with compact collectors.
 func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyPoint {
-	target := 20 * time.Millisecond
+	target := o.target()
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
 		panic("unknown AQM " + aqmName)
@@ -151,6 +234,7 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 	sc := Scenario{
 		Seed:           tc.Seed,
 		Watch:          tc.Watch,
+		Shards:         tc.Shards,
 		LinkRateBps:    heavyPerFlowBps * float64(n),
 		NewAQM:         factory,
 		CompactMetrics: true,
@@ -163,7 +247,7 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 		WarmUp:   dur * 2 / 5,
 	}
 	r := Run(sc)
-	return HeavyPoint{
+	p := HeavyPoint{
 		Flows:   n,
 		AQM:     aqmName,
 		Jain:    jainOf(r),
@@ -172,6 +256,13 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 		Util:    r.Utilization,
 		Events:  r.Events,
 	}
+	p.soj, _ = r.Sojourn.(*stats.LogHistogram)
+	for _, g := range r.Groups {
+		for _, rate := range g.FlowRates {
+			p.rateW.Add(rate)
+		}
+	}
+	return p
 }
 
 // runHeavyDual is the DualPI2 cell: hand-wired around core.DualLink (the
@@ -227,7 +318,7 @@ func runHeavyDual(o Options, tc *campaign.TaskCtx, n int) HeavyPoint {
 	for _, ep := range flows {
 		rates = append(rates, ep.Goodput.RateBps(now))
 	}
-	return HeavyPoint{
+	p := HeavyPoint{
 		Flows:   n,
 		AQM:     "dualpi2",
 		Jain:    stats.JainIndex(rates),
@@ -235,7 +326,12 @@ func runHeavyDual(o Options, tc *campaign.TaskCtx, n int) HeavyPoint {
 		QP99Ms:  soj.Percentile(99) * 1e3,
 		Util:    dual.Utilization(),
 		Events:  s.Processed(),
+		soj:     soj,
 	}
+	for _, r := range rates {
+		p.rateW.Add(r)
+	}
+	return p
 }
 
 // PrintHeavy writes the scaling table. Only simulation-derived columns
@@ -245,6 +341,17 @@ func PrintHeavy(w io.Writer, pts []HeavyPoint) {
 	fmt.Fprintln(w, "# Heavy tier: flow-count scaling, even reno/cubic/dctcp mix,")
 	fmt.Fprintf(w, "# fair share %.0f Mb/s per flow, RTT %d ms; compact (histogram) collectors\n",
 		heavyPerFlowBps/1e6, heavyRTT.Milliseconds())
+	if len(pts) > 0 && pts[0].Reps > 1 {
+		fmt.Fprintf(w, "# %d reps per cell with perturbed seeds: cross-seed mean, ± = 95%% CI,\n", pts[0].Reps)
+		fmt.Fprintln(w, "# sojourn quantiles over the reps' pooled histograms, rate_cov = pooled per-flow-rate CoV")
+		fmt.Fprintln(w, "aqm\tflows\tjain\tjain_ci\tq_mean_ms\tq_mean_ci\tq_p99_ms\tq_p99_ci\tutil\tutil_ci\trate_cov\tevents")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%s\t%d\t%.3f\t±%.3f\t%.2f\t±%.2f\t%.2f\t±%.2f\t%.3f\t±%.3f\t%.3f\t%d\n",
+				p.AQM, p.Flows, p.Jain, p.JainHW, p.QMeanMs, p.QMeanHW,
+				p.QP99Ms, p.QP99HW, p.Util, p.UtilHW, p.RateCoV, p.Events)
+		}
+		return
+	}
 	fmt.Fprintln(w, "aqm\tflows\tjain\tq_mean_ms\tq_p99_ms\tutil\tevents")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.2f\t%.2f\t%.3f\t%d\n",

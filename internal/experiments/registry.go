@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"pi2/internal/campaign"
 	"pi2/internal/fluid"
@@ -21,6 +22,9 @@ func opts(ctx *campaign.Context) Options {
 		Watchdog:     ctx.Watchdog,
 		Retries:      ctx.Retries,
 		RetryBackoff: ctx.RetryBackoff,
+		Shards:       ctx.Shards,
+		Reps:         ctx.Reps,
+		Target:       time.Duration(ctx.TargetMs) * time.Millisecond,
 	}
 }
 

@@ -79,6 +79,16 @@ type Scenario struct {
 	// built. Drivers set it to the campaign TaskCtx's Watch so the
 	// watchdog can cancel the run and observe its virtual clock.
 	Watch func(campaign.Canceler)
+	// Shards, when ≥ 2, runs the scenario on the conservative-PDES
+	// coordinator: bulk flows are partitioned across Shards-1 endpoint
+	// domains and the bottleneck link+AQM owns the last domain, all
+	// advancing in lock-step lookahead windows (see internal/sim/shard.go).
+	// One-way propagation moves onto the cross-domain wires, so sharded
+	// results are deterministic for a fixed shard count but not
+	// byte-identical to the single-domain schedule. 0 or 1 — and any
+	// scenario without partitionable bulk flows — uses the classic
+	// single-simulator path, byte-identical to before sharding existed.
+	Shards int
 	// CompactMetrics switches every distribution collector in the Result
 	// (queue sojourn, probability and utilization samples, web FCT) from
 	// the exact per-observation stats.Sample to the constant-memory
@@ -205,6 +215,9 @@ func emptyResult() *Result {
 func Run(sc Scenario) *Result {
 	if sc.SampleEvery == 0 {
 		sc.SampleEvery = time.Second
+	}
+	if shardable(sc) {
+		return runSharded(sc)
 	}
 	s := sim.New(sc.Seed)
 	if sc.Watch != nil {

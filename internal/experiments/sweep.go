@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pi2/internal/campaign"
+	"pi2/internal/stats"
 	"pi2/internal/traffic"
 )
 
@@ -43,6 +44,16 @@ type SweepPoint struct {
 	Util Quantiles
 	// Events is the cell's simulator-event count (run-record metric).
 	Events uint64
+
+	// Reps > 1 marks a cross-seed aggregate (-reps N): rates and
+	// probability/utilization quantiles are cross-seed means, queue-delay
+	// quantiles come from the reps' pooled sojourn samples (Sample.Merge),
+	// and the *HW fields are 95% confidence half-widths. Reps <= 1 is a
+	// single run with all of these zero.
+	Reps                     int
+	RatioHW, QMeanHW, QP99HW float64
+
+	soj *stats.Sample // this rep's exact sojourn sample (pooled via Merge)
 }
 
 // EventCount satisfies campaign.EventCounter for per-run events/sec records.
@@ -65,39 +76,114 @@ func CoexistenceSweep(o Options) []SweepPoint {
 		links = []float64{4, 40, 200}
 		rtts = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
 	}
+	reps := o.reps()
 	var tasks []campaign.Task
 	for _, pair := range []string{"dctcp", "ecn-cubic"} {
 		for _, aqmName := range []string{"pie", "pi2"} {
 			for _, linkMbps := range links {
 				for _, rtt := range rtts {
-					pair, aqmName, linkMbps, rtt := pair, aqmName, linkMbps, rtt
-					tasks = append(tasks, campaign.Task{
-						Name:      "sweep",
-						SeedIndex: len(tasks),
-						Params: map[string]any{
-							"pair": pair, "aqm": aqmName,
-							"link_mbps": linkMbps, "rtt_ms": rtt.Seconds() * 1e3,
-						},
-						Run: func(tc *campaign.TaskCtx) any {
-							return runSweepPoint(o, tc, linkMbps, rtt, aqmName, pair)
-						},
-					})
+					for rep := 0; rep < reps; rep++ {
+						pair, aqmName, linkMbps, rtt := pair, aqmName, linkMbps, rtt
+						// Innermost rep loop with SeedIndex = len(tasks):
+						// reps=1 keeps the historical cell->seed mapping, so
+						// the golden sweep tables stay byte-identical.
+						tasks = append(tasks, campaign.Task{
+							Name:      "sweep",
+							SeedIndex: len(tasks),
+							Params: map[string]any{
+								"pair": pair, "aqm": aqmName,
+								"link_mbps": linkMbps, "rtt_ms": rtt.Seconds() * 1e3,
+								"rep": rep,
+							},
+							Run: func(tc *campaign.TaskCtx) any {
+								return runSweepPoint(o, tc, linkMbps, rtt, aqmName, pair)
+							},
+						})
+					}
 				}
 			}
 		}
 	}
 	recs := campaign.Execute(tasks, o.exec())
-	out := make([]SweepPoint, len(recs))
-	for i, rec := range recs {
-		if p, ok := rec.Result.(SweepPoint); ok {
-			out[i] = p
+	out := make([]SweepPoint, 0, len(recs)/reps)
+	for base := 0; base < len(recs); base += reps {
+		var pts []SweepPoint
+		for _, rec := range recs[base : base+reps] {
+			if p, ok := rec.Result.(SweepPoint); ok {
+				pts = append(pts, p)
+			}
 		}
+		if len(pts) == 0 {
+			out = append(out, SweepPoint{})
+			continue
+		}
+		out = append(out, aggregateSweep(pts))
 	}
 	return out
 }
 
+// aggregateSweep folds one cell's repetitions into a banded point: rates and
+// the probability/utilization quantiles become cross-seed means, queue-delay
+// quantiles are recomputed over the reps' pooled sojourn samples
+// (Sample.Merge), and the ratio/queue-delay half-widths are 95% CIs over the
+// per-rep values. One rep passes through untouched (golden-stable).
+func aggregateSweep(pts []SweepPoint) SweepPoint {
+	if len(pts) == 1 {
+		return pts[0]
+	}
+	agg := pts[0]
+	var rateA, rateB, ratio, qmean, qp99 stats.Welford
+	pooled := &stats.Sample{}
+	var probA, probB, util quantilesWelford
+	var events uint64
+	for _, p := range pts {
+		rateA.Add(p.RateA)
+		rateB.Add(p.RateB)
+		ratio.Add(p.Ratio)
+		qmean.Add(p.QMean)
+		qp99.Add(p.QP99)
+		if p.soj != nil {
+			pooled.Merge(p.soj)
+		}
+		probA.add(p.ProbA)
+		probB.add(p.ProbB)
+		util.add(p.Util)
+		events += p.Events
+	}
+	agg.Reps = len(pts)
+	agg.RateA, agg.RateB = rateA.Mean(), rateB.Mean()
+	agg.Ratio, agg.RatioHW = ratio.Mean(), ci95(ratio)
+	agg.QMeanHW, agg.QP99HW = ci95(qmean), ci95(qp99)
+	if pooled.N() > 0 {
+		agg.QMean = pooled.Mean()
+		agg.QP99 = pooled.Percentile(99)
+	} else {
+		agg.QMean, agg.QP99 = qmean.Mean(), qp99.Mean()
+	}
+	agg.ProbA, agg.ProbB, agg.Util = probA.mean(), probB.mean(), util.mean()
+	agg.Events = events / uint64(len(pts))
+	agg.soj = pooled
+	return agg
+}
+
+// quantilesWelford accumulates Quantiles element-wise across repetitions.
+type quantilesWelford struct {
+	p1, p25, mid, p99 stats.Welford
+}
+
+func (q *quantilesWelford) add(v Quantiles) {
+	q.p1.Add(v.P1)
+	q.p25.Add(v.P25)
+	q.mid.Add(v.Mean)
+	q.p99.Add(v.P99)
+}
+
+func (q *quantilesWelford) mean() Quantiles {
+	return Quantiles{P1: q.p1.Mean(), P25: q.p25.Mean(), Mean: q.mid.Mean(), P99: q.p99.Mean()}
+}
+
 func runSweepPoint(o Options, tc *campaign.TaskCtx, linkMbps float64, rtt time.Duration, aqmName, pair string) SweepPoint {
-	target := 20 * time.Millisecond
+	target := o.target()
 	factory, ok := FactoryByName(aqmName, target)
 	if !ok {
 		panic("unknown AQM " + aqmName)
@@ -107,6 +193,7 @@ func runSweepPoint(o Options, tc *campaign.TaskCtx, linkMbps float64, rtt time.D
 	sc := Scenario{
 		Seed:        tc.Seed,
 		Watch:       tc.Watch,
+		Shards:      tc.Shards,
 		LinkRateBps: linkMbps * 1e6,
 		NewAQM:      factory,
 		Bulk: []traffic.BulkFlowSpec{
@@ -128,6 +215,7 @@ func runSweepPoint(o Options, tc *campaign.TaskCtx, linkMbps float64, rtt time.D
 	if pt.RateB > 0 {
 		pt.Ratio = pt.RateA / pt.RateB
 	}
+	pt.soj, _ = res.Sojourn.(*stats.Sample)
 	pt.ProbA = quantiles(res.ClassicProb)
 	if res.ScalableProb.N() > 0 {
 		pt.ProbB = quantiles(res.ScalableProb)
@@ -153,6 +241,16 @@ func quantiles(s interface {
 func PrintFig15(w io.Writer, pts []SweepPoint) {
 	fmt.Fprintln(w, "# Figure 15: throughput balance, one flow per congestion control")
 	fmt.Fprintln(w, "# ratio = Cubic / {DCTCP|ECN-Cubic}; 1.0 = perfect coexistence")
+	if len(pts) > 0 && pts[0].Reps > 1 {
+		fmt.Fprintf(w, "# %d reps per cell with perturbed seeds: cross-seed means, ± = 95%% CI\n", pts[0].Reps)
+		fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\trate_cubic_mbps\trate_other_mbps\tratio\tratio_ci")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.3f\t%.3f\t%.3f\t±%.3f\n",
+				p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+				p.RateA/1e6, p.RateB/1e6, p.Ratio, p.RatioHW)
+		}
+		return
+	}
 	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\trate_cubic_mbps\trate_other_mbps\tratio")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.3f\t%.3f\t%.3f\n",
@@ -164,6 +262,16 @@ func PrintFig15(w io.Writer, pts []SweepPoint) {
 // PrintFig16 writes the queue-delay table (Figure 16).
 func PrintFig16(w io.Writer, pts []SweepPoint) {
 	fmt.Fprintln(w, "# Figure 16: queuing delay (mean, P99) per packet")
+	if len(pts) > 0 && pts[0].Reps > 1 {
+		fmt.Fprintf(w, "# %d reps per cell: pooled-sample quantiles, ± = 95%% CI over per-rep values\n", pts[0].Reps)
+		fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\tqdelay_mean_ms\tqdelay_mean_ci\tqdelay_p99_ms\tqdelay_p99_ci")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.2f\t±%.2f\t%.2f\t±%.2f\n",
+				p.Pair, p.AQM, p.LinkMbps, float64(p.RTT.Milliseconds()),
+				p.QMean*1e3, p.QMeanHW*1e3, p.QP99*1e3, p.QP99HW*1e3)
+		}
+		return
+	}
 	fmt.Fprintln(w, "pair\taqm\tlink_mbps\trtt_ms\tqdelay_mean_ms\tqdelay_p99_ms")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.2f\t%.2f\n",

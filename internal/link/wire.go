@@ -1,0 +1,106 @@
+package link
+
+import (
+	"fmt"
+	"time"
+)
+
+// WireAuditor is the third conservation ledger armed in sharded runs: it
+// audits the cross-domain mailbox fabric ("wires") the same way Auditor
+// audits the bottleneck queue. The coordinator reports, at every window
+// barrier, the cumulative sent/delivered counters plus the structurally
+// counted in-flight backlog (messages parked in arrival heaps); the
+// auditor asserts that nothing was created, duplicated or lost in transit:
+//
+//   - packet and byte conservation: sent = delivered + in-flight,
+//     continuously at every barrier
+//   - non-negative in-flight occupancy
+//   - monotone barrier clock
+//
+// It implements sim.WireAudit. Like the link auditor, violations are
+// recorded rather than panicked so a failing run reports every broken
+// identity with its virtual timestamp; the scenario runner checks Err
+// after the run and fails the cell with the full report.
+type WireAuditor struct {
+	// SentPackets/Bytes and DeliveredPackets/Bytes mirror the coordinator's
+	// cumulative ledger as of the last barrier.
+	SentPackets      uint64
+	SentBytes        int64
+	DeliveredPackets uint64
+	DeliveredBytes   int64
+	// InFlightPackets/Bytes are the last barrier's structural backlog.
+	InFlightPackets int
+	InFlightBytes   int64
+	// Windows counts audited barriers.
+	Windows int
+
+	lastBarrier time.Duration
+	violations  []string
+	dropped     int
+}
+
+// WireWindow implements sim.WireAudit: one barrier observation.
+func (a *WireAuditor) WireWindow(now time.Duration, sentPkts, firedPkts uint64,
+	sentBytes, firedBytes int64, inFlightPkts int, inFlightBytes int64) {
+
+	a.Windows++
+	if a.Windows > 1 && now < a.lastBarrier {
+		a.violate(now, "monotone clock: barrier at %v before previous %v", now, a.lastBarrier)
+	}
+	a.lastBarrier = now
+	a.SentPackets, a.SentBytes = sentPkts, sentBytes
+	a.DeliveredPackets, a.DeliveredBytes = firedPkts, firedBytes
+	a.InFlightPackets, a.InFlightBytes = inFlightPkts, inFlightBytes
+
+	if inFlightPkts < 0 || inFlightBytes < 0 {
+		a.violate(now, "negative occupancy: in-flight %d packets / %d bytes",
+			inFlightPkts, inFlightBytes)
+	}
+	if firedPkts > sentPkts {
+		a.violate(now, "conservation: delivered %d packets but only %d sent",
+			firedPkts, sentPkts)
+	}
+	if sentPkts != firedPkts+uint64(inFlightPkts) {
+		a.violate(now, "packet conservation: sent %d != delivered %d + in-flight %d",
+			sentPkts, firedPkts, inFlightPkts)
+	}
+	if sentBytes != firedBytes+inFlightBytes {
+		a.violate(now, "byte conservation: sent %d != delivered %d + in-flight %d",
+			sentBytes, firedBytes, inFlightBytes)
+	}
+}
+
+func (a *WireAuditor) violate(now time.Duration, format string, args ...any) {
+	if len(a.violations) >= maxViolations {
+		a.dropped++
+		return
+	}
+	a.violations = append(a.violations,
+		fmt.Sprintf("t=%v: %s", now, fmt.Sprintf(format, args...)))
+}
+
+// Violations returns the recorded invariant failures (nil when clean).
+func (a *WireAuditor) Violations() []string {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	out := append([]string(nil), a.violations...)
+	if a.dropped > 0 {
+		out = append(out, fmt.Sprintf("... and %d further violations", a.dropped))
+	}
+	return out
+}
+
+// Err formats the violations as a single error-report string, prefixed by
+// the component name; it returns "" when every identity held.
+func (a *WireAuditor) Err(component string) string {
+	v := a.Violations()
+	if len(v) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("%s: %d invariant violation(s):", component, len(v))
+	for _, line := range v {
+		s += "\n  " + line
+	}
+	return s
+}

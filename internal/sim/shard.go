@@ -1,0 +1,477 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// This file implements conservative parallel discrete-event simulation
+// (PDES) on top of the slab scheduler: the simulation is split into
+// domains, each owning its own Simulator, and a Coordinator advances all
+// domains in lock-step lookahead windows bounded by the minimum
+// cross-domain propagation delay. Within a window domains run truly in
+// parallel (one goroutine each); they interact only through cross-domain
+// mailboxes that are exchanged at window barriers.
+//
+// Correctness rests on two rules:
+//
+//   - Lookahead: every cross-domain message must carry a delay of at least
+//     the coordinator's lookahead W. An event executing in window [T, T+W)
+//     can then only produce arrivals at ≥ T+W — never inside the window any
+//     domain is currently executing — so no domain ever receives a message
+//     from its own past. Send enforces the bound with a panic: a shorter
+//     delay is a wiring bug, not a runtime condition.
+//   - Deterministic merge: messages are delivered in the total order
+//     (arrival time, source domain, per-source sequence). Outboxes are
+//     per-(source, destination), so no two goroutines ever write one slice;
+//     the single-threaded barrier merge sorts each destination's batch and
+//     the per-domain arrival heap replays ties identically on every run,
+//     regardless of how goroutines were scheduled.
+//
+// At one domain the Coordinator degenerates to the plain slab path: no
+// goroutines, no windows, a single RunUntil on the underlying Simulator.
+
+// crossMsg is one cross-domain handoff: invoke fn(p) in the destination
+// domain at virtual time at. (src, seq) breaks ties deterministically.
+type crossMsg struct {
+	at  time.Duration
+	seq uint64 // per-source send sequence
+	src int32
+	fn  func(*packet.Packet)
+	p   *packet.Packet
+}
+
+// crossLess is the mailbox total order: (at, src, seq). seq is unique per
+// source, so the order is total and independent of goroutine scheduling.
+func crossLess(a, b *crossMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// Domain is one shard of a simulation: a private Simulator plus the
+// mailbox plumbing that connects it to its peers. All methods except the
+// coordinator's barrier-time bookkeeping run on the domain's own goroutine.
+type Domain struct {
+	id   int32
+	co   *Coordinator
+	sim  *Simulator
+	out  [][]crossMsg // outbox per destination domain, drained at barriers
+	sent uint64       // per-source send sequence (also the sent-packet count)
+
+	// arr is the pending-arrivals 4-ary min-heap ordered by crossLess.
+	// Each pushed message also schedules one deliverFn event at its arrival
+	// time in the domain's Simulator; when that event fires, the heap
+	// minimum is exactly the message to deliver (see deliverNext).
+	arr       []crossMsg
+	deliverFn Event
+
+	// Wire-ledger counters, folded into the coordinator's cumulative ledger
+	// at each barrier (single-threaded), so the hot path needs no atomics.
+	sentBytes  int64
+	fired      uint64
+	firedBytes int64
+	inArrBytes int64
+}
+
+// ID returns the domain's index (0..N-1).
+func (d *Domain) ID() int { return int(d.id) }
+
+// Sim returns the domain's private Simulator. Components owned by the
+// domain are built against it exactly as in an unsharded run.
+func (d *Domain) Sim() *Simulator { return d.sim }
+
+// Send posts a cross-domain message: fn(p) will run in domain dst at
+// now+delay. delay must be at least the coordinator's lookahead window —
+// anything shorter could land inside a window a peer is already executing,
+// which is a conservative-synchronization violation and therefore a panic.
+func (d *Domain) Send(dst int, delay time.Duration, p *packet.Packet, fn func(*packet.Packet)) {
+	if delay < d.co.look {
+		panic(fmt.Sprintf("sim: cross-domain send with delay %v below lookahead %v", delay, d.co.look))
+	}
+	if dst == int(d.id) {
+		panic("sim: cross-domain send to own domain (schedule locally instead)")
+	}
+	d.out[dst] = append(d.out[dst], crossMsg{
+		at:  d.sim.Now() + delay,
+		seq: d.sent,
+		src: d.id,
+		fn:  fn,
+		p:   p,
+	})
+	d.sent++
+	d.sentBytes += int64(p.WireLen)
+}
+
+// pushArrival accepts one merged message at a barrier: heap-insert plus one
+// scheduled delivery event at the message's arrival time. Runs on the
+// coordinator goroutine while every domain worker is parked at the barrier.
+func (d *Domain) pushArrival(m crossMsg) {
+	d.arr = append(d.arr, m)
+	i := len(d.arr) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !crossLess(&d.arr[i], &d.arr[p]) {
+			break
+		}
+		d.arr[i], d.arr[p] = d.arr[p], d.arr[i]
+		i = p
+	}
+	d.inArrBytes += int64(m.p.WireLen)
+	d.sim.At(m.at, d.deliverFn)
+}
+
+// deliverNext pops the earliest pending arrival and runs its handler. One
+// delivery event exists per pending message, so the heap minimum's arrival
+// time always equals the firing event's time; a mismatch means the mailbox
+// order was corrupted and the run cannot be trusted.
+func (d *Domain) deliverNext() {
+	m := d.arr[0]
+	n := len(d.arr) - 1
+	d.arr[0] = d.arr[n]
+	d.arr = d.arr[:n]
+	// Sift down.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if crossLess(&d.arr[j], &d.arr[best]) {
+				best = j
+			}
+		}
+		if !crossLess(&d.arr[best], &d.arr[i]) {
+			break
+		}
+		d.arr[i], d.arr[best] = d.arr[best], d.arr[i]
+		i = best
+	}
+	if m.at != d.sim.Now() {
+		panic(fmt.Sprintf("sim: mailbox order corrupted: delivering message for %v at %v", m.at, d.sim.Now()))
+	}
+	d.fired++
+	d.firedBytes += int64(m.p.WireLen)
+	d.inArrBytes -= int64(m.p.WireLen)
+	m.fn(m.p)
+}
+
+// pendingArrivals reports the in-flight messages parked at this domain.
+func (d *Domain) pendingArrivals() (pkts int, bytes int64) {
+	return len(d.arr), d.inArrBytes
+}
+
+// WireAudit observes the cross-domain mailbox fabric at every barrier: the
+// cumulative sent/delivered ledger plus the structurally counted in-flight
+// backlog. link.WireAuditor implements it with the same conservation
+// identities the bottleneck auditor applies to its queue; the interface
+// lives here so sim need not import link (link imports sim).
+type WireAudit interface {
+	WireWindow(now time.Duration, sentPkts, firedPkts uint64,
+		sentBytes, firedBytes int64, inFlightPkts int, inFlightBytes int64)
+}
+
+// Coordinator advances a set of domains in lock-step lookahead windows.
+// It satisfies campaign.Canceler structurally (Cancel + NowNanos), so the
+// watchdog supervises a sharded cell exactly like a single simulator.
+type Coordinator struct {
+	domains []*Domain
+	look    time.Duration
+
+	now       time.Duration
+	nowAtomic atomic.Int64
+
+	canceled  atomic.Bool
+	cancelMsg string
+
+	audit WireAudit
+	// Cumulative wire ledger, folded from per-domain counters at barriers.
+	sentPkts, firedPkts   uint64
+	sentBytes, firedBytes int64
+
+	// DropCrossHook, when set, may swallow a message at the barrier merge —
+	// it models a lossy mailbox fabric. Test-only: the dropped message stays
+	// in the sent ledger but never arrives, so the wire auditor must flag
+	// the conservation violation. Returning true drops the message.
+	DropCrossHook func(dst int, p *packet.Packet) bool
+
+	sortBuf []crossMsg
+}
+
+// NewCoordinator builds n domains whose simulator seeds derive from seed
+// via an independent SplitMix64 mix, so shard count changes never reuse a
+// stream. lookahead is the minimum cross-domain propagation delay; it must
+// be positive when n > 1 (with one domain there are no cross sends and the
+// coordinator degenerates to the plain slab path).
+func NewCoordinator(seed int64, n int, lookahead time.Duration) *Coordinator {
+	if n < 1 {
+		panic("sim: coordinator needs at least one domain")
+	}
+	if n > 1 && lookahead <= 0 {
+		panic("sim: multi-domain coordinator needs a positive lookahead")
+	}
+	c := &Coordinator{look: lookahead, domains: make([]*Domain, n)}
+	for i := range c.domains {
+		d := &Domain{
+			id:  int32(i),
+			co:  c,
+			sim: New(mixSeed(seed, i)),
+			out: make([][]crossMsg, n),
+		}
+		d.deliverFn = d.deliverNext
+		c.domains[i] = d
+	}
+	return c
+}
+
+// mixSeed derives domain i's simulator seed from the run seed with a
+// SplitMix64 step (the same construction campaign.DeriveSeed uses), so
+// domain streams are well-separated for any (seed, i).
+func mixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(int64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Domains returns the number of domains.
+func (c *Coordinator) Domains() int { return len(c.domains) }
+
+// Domain returns shard i.
+func (c *Coordinator) Domain(i int) *Domain { return c.domains[i] }
+
+// Lookahead returns the window width.
+func (c *Coordinator) Lookahead() time.Duration { return c.look }
+
+// SetWireAudit installs the cross-domain conservation auditor; it is
+// invoked at every barrier on the coordinator goroutine.
+func (c *Coordinator) SetWireAudit(a WireAudit) { c.audit = a }
+
+// Now returns the barrier clock: every domain has executed all events
+// strictly before it.
+func (c *Coordinator) Now() time.Duration { return c.now }
+
+// NowNanos exposes the barrier clock to other goroutines (the watchdog's
+// stall detector). Windows are at most one lookahead wide, so the barrier
+// clock tracks true progress closely.
+func (c *Coordinator) NowNanos() int64 { return c.nowAtomic.Load() }
+
+// Cancel requests a cooperative stop: the flag fans out to every domain
+// simulator (their next Step panics Canceled) and the coordinator itself
+// checks it at each barrier, so even an idle run stops promptly. Safe to
+// call from any goroutine.
+func (c *Coordinator) Cancel(reason string) {
+	c.cancelMsg = reason
+	c.canceled.Store(true)
+	for _, d := range c.domains {
+		d.sim.Cancel(reason)
+	}
+}
+
+// Processed sums executed events across all domains.
+func (c *Coordinator) Processed() uint64 {
+	var sum uint64
+	for _, d := range c.domains {
+		sum += d.sim.Processed()
+	}
+	return sum
+}
+
+func (c *Coordinator) setNow(t time.Duration) {
+	c.now = t
+	c.nowAtomic.Store(int64(t))
+}
+
+func (c *Coordinator) checkCanceled() {
+	if c.canceled.Load() {
+		panic(Canceled{Reason: c.cancelMsg})
+	}
+}
+
+// window is one barrier-to-barrier work order. inclusive selects the final
+// fixpoint passes that run events exactly at the end time.
+type window struct {
+	end       time.Duration
+	inclusive bool
+}
+
+// runWindow executes one window on the domain's goroutine, converting a
+// panic (including cooperative cancellation) into a value the coordinator
+// re-raises deterministically.
+func (d *Domain) runWindow(w window) (err any) {
+	defer func() { err = recover() }()
+	if w.inclusive {
+		d.sim.RunUntil(w.end)
+	} else {
+		d.sim.RunBefore(w.end)
+	}
+	return nil
+}
+
+// RunUntil advances every domain to end. Windows are c.look wide: all
+// domains execute events strictly before the window boundary in parallel,
+// then the coordinator (single-threaded) merges the outboxes into the
+// destination heaps. A final fixpoint loop runs events exactly at end,
+// re-exchanging until no messages moved, so boundary arrivals (t+d == end)
+// are delivered just as RunUntil on a single simulator would.
+func (c *Coordinator) RunUntil(end time.Duration) {
+	if len(c.domains) == 1 {
+		// Degenerate single-shard path: the slab scheduler as-is. No
+		// goroutines, no windows, no merge — and therefore byte-identical
+		// behavior to an unsharded run by construction.
+		c.checkCanceled()
+		c.domains[0].sim.RunUntil(end)
+		c.setNow(end)
+		return
+	}
+
+	n := len(c.domains)
+	work := make([]chan window, n)
+	done := make(chan struct {
+		id  int
+		err any
+	}, n)
+	for i, d := range c.domains {
+		ch := make(chan window)
+		work[i] = ch
+		go func(d *Domain, ch chan window) {
+			for w := range ch {
+				done <- struct {
+					id  int
+					err any
+				}{int(d.id), d.runWindow(w)}
+			}
+		}(d, ch)
+	}
+	// Workers exit when their channel closes; closing here (rather than at
+	// normal completion only) keeps a panicking run from leaking one parked
+	// goroutine per domain.
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	runAll := func(w window) {
+		for _, ch := range work {
+			ch <- w
+		}
+		firstID, firstErr := n, any(nil)
+		for i := 0; i < n; i++ {
+			r := <-done
+			if r.err != nil && r.id < firstID {
+				firstID, firstErr = r.id, r.err
+			}
+		}
+		if firstErr != nil {
+			// Re-raise the lowest-numbered domain's panic so a multi-domain
+			// failure reports the same error on every run.
+			panic(firstErr)
+		}
+	}
+
+	for c.now < end {
+		c.checkCanceled()
+		b := c.now + c.look
+		if b > end {
+			b = end
+		}
+		runAll(window{end: b})
+		c.setNow(b)
+		c.exchange()
+	}
+	for {
+		c.checkCanceled()
+		runAll(window{end: end, inclusive: true})
+		if c.exchange() == 0 {
+			break
+		}
+	}
+}
+
+// exchange is the barrier merge: fold each domain's wire counters into the
+// cumulative ledger, then move every outbox message into its destination's
+// arrival heap in (at, src, seq) order. It runs on the coordinator
+// goroutine while all workers are parked, so no locking is needed; the
+// worker channels' happens-before edges publish the outbox writes. Returns
+// the number of messages moved (dropped ones included — a drop still means
+// the window was not quiescent).
+func (c *Coordinator) exchange() int {
+	for _, d := range c.domains {
+		c.sentPkts += d.sent
+		c.sentBytes += d.sentBytes
+		c.firedPkts += d.fired
+		c.firedBytes += d.firedBytes
+		d.sent, d.sentBytes = 0, 0
+		d.fired, d.firedBytes = 0, 0
+	}
+	moved := 0
+	for dstID, dst := range c.domains {
+		batch := c.sortBuf[:0]
+		for _, src := range c.domains {
+			if m := src.out[dstID]; len(m) > 0 {
+				batch = append(batch, m...)
+				src.out[dstID] = m[:0]
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		moved += len(batch)
+		sortCross(batch)
+		for i := range batch {
+			if c.DropCrossHook != nil && c.DropCrossHook(dstID, batch[i].p) {
+				continue
+			}
+			dst.pushArrival(batch[i])
+		}
+		c.sortBuf = batch[:0]
+	}
+	if c.audit != nil {
+		inP, inB := 0, int64(0)
+		for _, d := range c.domains {
+			p, b := d.pendingArrivals()
+			inP += p
+			inB += b
+		}
+		c.audit.WireWindow(c.now, c.sentPkts, c.firedPkts,
+			c.sentBytes, c.firedBytes, inP, inB)
+	}
+	return moved
+}
+
+// sortCross orders a merged batch by crossLess. The order is total (seq is
+// unique per source), so an unstable sort yields the same permutation on
+// every run.
+func sortCross(ms []crossMsg) {
+	slices.SortFunc(ms, func(a, b crossMsg) int {
+		if crossLess(&a, &b) {
+			return -1
+		}
+		if crossLess(&b, &a) {
+			return 1
+		}
+		return 0
+	})
+}

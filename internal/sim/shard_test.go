@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// pingPong wires a deterministic two-domain workload: domain 0 fires a
+// packet to domain 1 every ms with the given one-way delay; domain 1 echoes
+// each arrival straight back. Each domain records its own deliveries in its
+// own trace (domains run on separate goroutines, so a shared recorder would
+// itself be a race).
+func pingPong(seed int64, look, oneWay time.Duration) (*Coordinator, *[2][]string) {
+	co := NewCoordinator(seed, 2, look)
+	traces := &[2][]string{}
+	d0, d1 := co.Domain(0), co.Domain(1)
+	var echo func(p *packet.Packet)
+	echo = func(p *packet.Packet) {
+		traces[1] = append(traces[1], fmt.Sprintf("%v #%d", d1.Sim().Now(), p.FlowID))
+		d1.Send(0, oneWay, p, func(p *packet.Packet) {
+			traces[0] = append(traces[0], fmt.Sprintf("%v #%d", d0.Sim().Now(), p.FlowID))
+		})
+	}
+	id := 0
+	d0.Sim().Every(time.Millisecond, func() {
+		id++
+		p := packet.NewData(id, 0, 100, packet.NotECT)
+		d0.Send(1, oneWay, p, echo)
+	})
+	return co, traces
+}
+
+func TestCoordinatorPingPongDeterministic(t *testing.T) {
+	run := func() ([2][]string, uint64) {
+		co, traces := pingPong(5, 2*time.Millisecond, 3*time.Millisecond)
+		co.RunUntil(50 * time.Millisecond)
+		return *traces, co.Processed()
+	}
+	tracesA, evA := run()
+	tracesB, evB := run()
+	if evA != evB {
+		t.Fatalf("event counts differ across identical runs: %d vs %d", evA, evB)
+	}
+	for dom := range tracesA {
+		a, b := tracesA[dom], tracesB[dom]
+		if len(a) == 0 {
+			t.Fatalf("domain %d recorded no deliveries", dom)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("domain %d delivery %d differs: %q vs %q", dom, i, a[i], b[i])
+			}
+		}
+	}
+	// Sanity: timestamps are the scheduled instants (send at k ms, echo
+	// delivered at k+3 ms, returned to d0 at k+6 ms).
+	if tracesA[1][0] != "4ms #1" {
+		t.Errorf("first delivery = %q, want \"4ms #1\"", tracesA[1][0])
+	}
+	if tracesA[0][0] != "7ms #1" {
+		t.Errorf("first echo = %q, want \"7ms #1\"", tracesA[0][0])
+	}
+}
+
+// TestCoordinatorBoundaryArrivalDelivered: an arrival landing exactly on the
+// RunUntil horizon must still fire — the final fixpoint loop re-runs
+// inclusive windows until no messages move.
+func TestCoordinatorBoundaryArrivalDelivered(t *testing.T) {
+	co := NewCoordinator(1, 2, time.Millisecond)
+	got := time.Duration(-1)
+	d0, d1 := co.Domain(0), co.Domain(1)
+	d0.Sim().At(9*time.Millisecond, func() {
+		p := packet.NewData(1, 0, 10, packet.NotECT)
+		d0.Send(1, time.Millisecond, p, func(*packet.Packet) {
+			got = d1.Sim().Now()
+		})
+	})
+	co.RunUntil(10 * time.Millisecond)
+	if got != 10*time.Millisecond {
+		t.Fatalf("boundary arrival fired at %v, want exactly 10ms", got)
+	}
+	if co.Now() != 10*time.Millisecond {
+		t.Errorf("barrier clock %v, want 10ms", co.Now())
+	}
+}
+
+// TestCoordinatorMailboxTotalOrder: simultaneous arrivals from multiple
+// sources must deliver in (time, source domain, per-source sequence) order,
+// not in goroutine-completion order.
+func TestCoordinatorMailboxTotalOrder(t *testing.T) {
+	co := NewCoordinator(9, 3, time.Millisecond)
+	var order []int
+	dst := co.Domain(0)
+	for _, src := range []int{2, 1} { // deliberately out of order
+		d := co.Domain(src)
+		srcID := src
+		d.Sim().At(0, func() {
+			for i := 0; i < 3; i++ {
+				tag := srcID*10 + i
+				p := packet.NewData(tag, 0, 10, packet.NotECT)
+				d.Send(0, time.Millisecond, p, func(p *packet.Packet) {
+					order = append(order, p.FlowID)
+				})
+			}
+		})
+	}
+	co.RunUntil(5 * time.Millisecond)
+	want := []int{10, 11, 12, 20, 21, 22}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v (src-major, then sequence)", order, want)
+		}
+	}
+	_ = dst
+}
+
+// TestCoordinatorSingleDomainDegenerate: one domain means no windows, no
+// goroutines — the run must be the plain slab path, with the same processed
+// count and final clock as a bare Simulator.
+func TestCoordinatorSingleDomainDegenerate(t *testing.T) {
+	co := NewCoordinator(7, 1, 0)
+	ticks := 0
+	co.Domain(0).Sim().Every(time.Millisecond, func() { ticks++ })
+	co.RunUntil(10 * time.Millisecond)
+
+	plain := New(mixSeed(7, 0))
+	pticks := 0
+	plain.Every(time.Millisecond, func() { pticks++ })
+	plain.RunUntil(10 * time.Millisecond)
+
+	if ticks != pticks || co.Processed() != plain.Processed() {
+		t.Fatalf("degenerate coordinator diverged: ticks %d/%d events %d/%d",
+			ticks, pticks, co.Processed(), plain.Processed())
+	}
+	if co.Now() != 10*time.Millisecond {
+		t.Errorf("coordinator clock %v, want 10ms", co.Now())
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	co := NewCoordinator(1, 2, 2*time.Millisecond)
+	d0 := co.Domain(0)
+	d0.Sim().At(0, func() {
+		p := packet.NewData(1, 0, 10, packet.NotECT)
+		d0.Send(1, time.Millisecond, p, func(*packet.Packet) {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("short cross-domain send did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	co.RunUntil(time.Millisecond)
+}
+
+func TestSendToOwnDomainPanics(t *testing.T) {
+	co := NewCoordinator(1, 2, time.Millisecond)
+	d0 := co.Domain(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	d0.Send(0, time.Millisecond, packet.NewData(1, 0, 10, packet.NotECT), func(*packet.Packet) {})
+}
+
+// TestCoordinatorCancelStopsRun: Cancel from another goroutine must stop a
+// multi-domain run with the Canceled panic carrying the reason — the same
+// cooperative contract a single Simulator gives the campaign watchdog.
+func TestCoordinatorCancelStopsRun(t *testing.T) {
+	co, _ := pingPong(3, 2*time.Millisecond, 3*time.Millisecond)
+	stopped := make(chan any, 1)
+	go func() {
+		defer func() { stopped <- recover() }()
+		co.RunUntil(time.Hour)
+	}()
+	for co.NowNanos() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	co.Cancel("watchdog: test timeout")
+	r := <-stopped
+	c, ok := r.(Canceled)
+	if !ok {
+		t.Fatalf("run ended with %v, want Canceled", r)
+	}
+	if c.CancelReason() != "watchdog: test timeout" {
+		t.Errorf("reason %q", c.CancelReason())
+	}
+	if co.NowNanos() >= int64(time.Hour) {
+		t.Error("run completed instead of cancelling")
+	}
+}
+
+// TestRunBeforeStrictBoundary pins the window primitive: events strictly
+// before the end run, an event exactly at the end stays pending, and the
+// clock still advances to the boundary.
+func TestRunBeforeStrictBoundary(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{0, 4 * time.Millisecond, 5 * time.Millisecond, 6 * time.Millisecond} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunBefore(5 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 4*time.Millisecond {
+		t.Fatalf("RunBefore fired %v, want [0 4ms]", fired)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock %v after RunBefore, want 5ms", s.Now())
+	}
+	// The boundary event is still pending and runs on the inclusive pass.
+	s.RunUntil(5 * time.Millisecond)
+	if len(fired) != 3 || fired[2] != 5*time.Millisecond {
+		t.Fatalf("inclusive pass fired %v, want the 5ms event", fired)
+	}
+}
+
+// TestMixSeedSeparation: domain seed derivation must differ across domains
+// and base seeds, and never emit the invalid zero seed.
+func TestMixSeedSeparation(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		for i := 0; i < 8; i++ {
+			s := mixSeed(seed, i)
+			if s == 0 {
+				t.Fatalf("mixSeed(%d,%d) = 0", seed, i)
+			}
+			if seen[s] {
+				t.Fatalf("mixSeed collision at (%d,%d)", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}

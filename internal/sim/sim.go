@@ -304,6 +304,25 @@ func (s *Simulator) RunUntil(end time.Duration) {
 	}
 }
 
+// RunBefore executes events strictly before end, then sets the clock to
+// end. It is the window primitive of the sharded coordinator: events
+// exactly at a window boundary belong to the next window (or to the final
+// inclusive RunUntil pass), so a message arriving precisely at a barrier is
+// never raced by the window that produced it.
+func (s *Simulator) RunBefore(end time.Duration) {
+	for {
+		at, ok := s.peek()
+		if !ok || at >= end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+		s.nowAtomic.Store(int64(end))
+	}
+}
+
 // Run executes events until the queue is empty.
 func (s *Simulator) Run() {
 	for s.Step() {

@@ -68,6 +68,14 @@ type Config struct {
 	// the send rate is cwnd/SRTT times a gain of 2 in slow start and
 	// 1.25 in congestion avoidance.
 	Pacing bool
+	// SplitPropagation moves the whole BaseRTT out of the endpoint: the
+	// sharded runner charges one-way propagation on each cross-domain wire
+	// (sender→link and link→receiver), so the internal ACK path becomes
+	// zero-delay. Total sender-observed RTT is unchanged — BaseRTT +
+	// queuing + serialization — but the delay now lives on mailbox edges
+	// where it provides conservative-PDES lookahead. Unsharded runs leave
+	// this false and keep the classic all-on-the-ACK-path accounting.
+	SplitPropagation bool
 }
 
 const (
@@ -677,11 +685,17 @@ func (e *Endpoint) sendAckNow(ce bool) {
 	if e.cfg.SACK && len(e.oooSorted) > 0 {
 		ack.SACK = sackBlocks(e.oooSorted, e.rcvRecentSeq)
 	}
-	// The reverse path is a constant BaseRTT delay, so ACKs arrive in send
-	// order: push onto the FIFO ring and let the pre-bound arrival callback
-	// pop the front, instead of allocating a closure per ACK.
+	// The reverse path is a constant delay, so ACKs arrive in send order:
+	// push onto the FIFO ring and let the pre-bound arrival callback pop
+	// the front, instead of allocating a closure per ACK. The delay is the
+	// whole BaseRTT classically, or zero under SplitPropagation (both
+	// one-way legs are then charged on the cross-domain wires).
+	delay := e.cfg.BaseRTT
+	if e.cfg.SplitPropagation {
+		delay = 0
+	}
 	e.ackQ = append(e.ackQ, ack)
-	e.sim.After(e.cfg.BaseRTT, e.ackArriveFn)
+	e.sim.After(delay, e.ackArriveFn)
 }
 
 // ackArrive delivers the oldest in-flight ACK to the sender and recycles it.
