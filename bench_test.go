@@ -898,3 +898,69 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPragueAlphaUpdate pins the per-ACK cost of Prague's congestion
+// control: observation-window accounting, the EWMA close with a marked-
+// window reduction, and the RTT-independence-scaled increase. The ACK
+// stream closes a window every 20 ACKs with a mark every 16, so the bench
+// exercises accumulate, close-with-cut and close-clean paths together.
+// Budget: zero allocations (BENCH_hotpath.json).
+func BenchmarkPragueAlphaUpdate(b *testing.B) {
+	p := &tcp.Prague{}
+	s := &tcp.State{Cwnd: 20, Ssthresh: 10, MinCwnd: 2}
+	p.Init(s)
+	s.SRTT = 10 * time.Millisecond
+	var una, nxt int64
+	tcp.BindSeq(p, &una, &nxt)
+	nxt = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		una++
+		if una%20 == 0 {
+			nxt += 20
+		}
+		p.OnAck(s, 1, i%16 == 0, time.Duration(i)*time.Millisecond)
+	}
+	if s.Cwnd < tcp.PragueMinCwnd {
+		b.Fatal("cwnd under floor")
+	}
+}
+
+// BenchmarkECNMarkPath is BenchmarkLinkPacketPath with every ECT(1) packet
+// CE-marked at enqueue: the delta over the plain path is the marking cost
+// itself — the step decision, the ECN rewrite and the per-flow mark
+// accounting in the link auditor. Budget: zero allocations (the auditor's
+// per-flow map is warmed before the timer starts).
+func BenchmarkECNMarkPath(b *testing.B) {
+	s := sim.New(1)
+	pool := s.PacketPool()
+	delivered := 0
+	l := link.New(s, link.Config{
+		RateBps: 1e12,
+		AQM: aqm.NewStepMark(aqm.StepMarkConfig{
+			Threshold: time.Nanosecond,
+			Estimator: aqm.EstimateByCapacity,
+		}),
+	}, func(p *packet.Packet) {
+		delivered++
+		pool.Release(p)
+	})
+	// Warm the auditor's lazy per-flow mark map off the clock.
+	for i := 0; i < 64; i++ {
+		l.Enqueue(pool.NewData(1, int64(i), packet.MSS, packet.ECT1))
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Enqueue(pool.NewData(1, int64(64+i), packet.MSS, packet.ECT1))
+		if i%64 == 0 {
+			s.RunUntil(s.Now() + time.Microsecond)
+		}
+	}
+	s.Run()
+	if delivered == 0 || l.Marks() == 0 {
+		b.Fatalf("mark path not exercised: delivered=%d marks=%d", delivered, l.Marks())
+	}
+}

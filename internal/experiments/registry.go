@@ -167,6 +167,15 @@ func init() {
 			return err
 		},
 	})
+	campaign.Register(campaign.Experiment{
+		Name: "interop", Desc: "L4S conformance matrix: {prague,dctcp,cubic,reno} x {classic,accurate ECN} x {pie,pi2,dualpi2}", InAll: true,
+		Run: func(ctx *campaign.Context, w io.Writer) error {
+			pts, failed, err := Interop(opts(ctx))
+			PrintInterop(w, pts, failed)
+			fmt.Fprintln(w)
+			return err
+		},
+	})
 	// The heavy tier stays out of "all" (and hence the golden set): its big
 	// cells take minutes. The table on stdout is seed-deterministic like every
 	// other experiment; host-dependent throughput figures go to stderr.

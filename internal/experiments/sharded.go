@@ -177,7 +177,7 @@ func runSharded(sc Scenario) *Result {
 			domID := int32(1 + fIdx%nE)
 			dom := co.Domain(int(domID))
 			es := dom.Sim()
-			cc, mode, err := tcp.NewCC(spec.CC)
+			cc, mode, err := tcp.NewCCFeedback(spec.CC, spec.Feedback)
 			if err != nil {
 				panic(err)
 			}

@@ -42,6 +42,13 @@ type Auditor struct {
 	// ECTOffered counts offered packets that were ECN-capable on arrival.
 	ECTOffered int
 
+	// marksByFlow ledgers CE marks per flow ID, allocated lazily on the
+	// first mark (an unmarked run pays nothing). Map writes to existing
+	// keys don't allocate, so the mark path stays on its zero-allocs/op
+	// budget; the per-flow counts are what the accurate-ECN conformance
+	// tests reconcile against each sender's CE-acked ledger.
+	marksByFlow map[int]int
+
 	// Drops split by where the packet was when it died: before admission
 	// (AQM enqueue verdict, buffer overflow) or out of the backlog
 	// (CoDel-style head drop). The split is what makes the conservation
@@ -137,11 +144,20 @@ func (a *Auditor) DroppedPkt(p *packet.Packet, now time.Duration, fromQueue bool
 // Marked observes a CE mark; p still carries its pre-mark codepoint.
 func (a *Auditor) Marked(p *packet.Packet, now time.Duration) {
 	a.MarkedPackets++
+	if a.marksByFlow == nil {
+		a.marksByFlow = make(map[int]int, 8)
+	}
+	a.marksByFlow[p.FlowID]++
 	if !p.ECN.ECNCapable() {
 		a.violate(now, "ECN sanity: CE mark on %v packet (flow %d seq %d)",
 			p.ECN, p.FlowID, p.Seq)
 	}
 }
+
+// MarksForFlow returns the CE marks this bottleneck applied to one flow's
+// packets — the AQM side of the accurate-ECN conservation identity (the
+// sender side is tcp.Endpoint.CEAcked).
+func (a *Auditor) MarksForFlow(flowID int) int { return a.marksByFlow[flowID] }
 
 // Accepted observes a packet entering the backlog.
 func (a *Auditor) Accepted(p *packet.Packet, now time.Duration) {

@@ -1,0 +1,70 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/link"
+	"pi2/internal/sim"
+)
+
+// TestAccurateECNConservation checks the accurate-ECN feedback identity end
+// to end for the scalable senders: every CE mark the AQM applies is seen by
+// exactly one receiver, echoed on exactly one ACK, and counted by exactly
+// one OnAck — with no off-by-one across delayed-ACK boundaries (the
+// CE-change flush rule is what keeps AckEvery > 1 exact).
+//
+// The flow is finite and the run outlives it, so there are no in-flight
+// marks at the end and the counts must match exactly, not approximately:
+//
+//	link.Marks() == Audit().MarksForFlow(id) == ep.MarksSeen() == ep.CEAcked()
+func TestAccurateECNConservation(t *testing.T) {
+	ccs := []struct {
+		name string
+		cc   func() CongestionControl
+	}{
+		{"prague", func() CongestionControl { return &Prague{} }},
+		{"dctcp", func() CongestionControl { return &DCTCP{} }},
+	}
+	for _, c := range ccs {
+		for _, ackEvery := range []int{1, 2} {
+			t.Run(c.name+"/ackevery"+string(rune('0'+ackEvery)), func(t *testing.T) {
+				s := sim.New(42)
+				d := link.NewDispatcher()
+				l := link.New(s, link.Config{
+					RateBps: 10e6,
+					AQM:     aqm.NewStepMark(aqm.StepMarkConfig{Threshold: 2 * time.Millisecond}),
+				}, d.Deliver)
+				ep := New(s, l, Config{
+					ID: 1, CC: c.cc(), ECN: ECNScalable,
+					BaseRTT: 10 * time.Millisecond, AckEvery: ackEvery,
+					FlowSegs: 5000,
+				})
+				d.Register(1, ep.DeliverData)
+				ep.Start()
+				s.RunUntil(60 * time.Second)
+
+				if !ep.Completed() {
+					t.Fatal("flow did not complete; conservation check needs a drained flow")
+				}
+				applied := l.Marks()
+				perFlow := l.Audit().MarksForFlow(1)
+				seen := ep.MarksSeen()
+				echoed := ep.CEAcked()
+				if applied < 50 {
+					t.Fatalf("only %d marks applied; scenario not exercising the mark path", applied)
+				}
+				if perFlow != applied {
+					t.Errorf("auditor per-flow marks = %d, link applied %d", perFlow, applied)
+				}
+				if seen != applied {
+					t.Errorf("receiver saw %d CE marks, AQM applied %d", seen, applied)
+				}
+				if echoed != applied {
+					t.Errorf("sender counted %d CE-acked segments, AQM applied %d", echoed, applied)
+				}
+			})
+		}
+	}
+}

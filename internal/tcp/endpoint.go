@@ -151,6 +151,7 @@ type Endpoint struct {
 	congestionEvents int
 	rtoCount         int
 	marksSeen        int
+	ceAcked          int
 	startedAt        time.Duration
 	completedAt      time.Duration
 }
@@ -158,6 +159,25 @@ type Endpoint struct {
 type segMeta struct {
 	sentAt time.Duration
 	retx   bool
+}
+
+// seqBinder is implemented by congestion controls that track observation
+// windows over sequence space (DCTCP, Prague): the endpoint hands them
+// pointers to its live cumulative-ACK and next-send sequence numbers.
+type seqBinder interface {
+	bindSeq(sndUna, sndNxt *int64)
+}
+
+// BindSeq connects a congestion control that tracks observation windows in
+// sequence space to external sequence counters, returning whether the
+// control needed one. Endpoints do this automatically; it is exported so
+// benchmarks and closed-form tests can drive such a control standalone.
+func BindSeq(cc CongestionControl, sndUna, sndNxt *int64) bool {
+	sb, ok := cc.(seqBinder)
+	if ok {
+		sb.bindSeq(sndUna, sndNxt)
+	}
+	return ok
 }
 
 // Enqueuer is the bottleneck's ingress: it takes ownership of the packet.
@@ -204,8 +224,8 @@ func NewWithEnqueuer(s *sim.Simulator, enqueue Enqueuer, cfg Config) *Endpoint {
 		MinCwnd:  2,
 	}
 	e.cc.Init(&e.state)
-	if d, ok := e.cc.(*DCTCP); ok {
-		d.bindSeq(&e.sndUna, &e.sndNxt)
+	if sb, ok := e.cc.(seqBinder); ok {
+		sb.bindSeq(&e.sndUna, &e.sndNxt)
 	}
 	if h, ok := e.cc.(interface{ UseHyStart() bool }); ok {
 		e.hystart = h.UseHyStart()
@@ -263,6 +283,13 @@ func (e *Endpoint) CongestionEvents() int { return e.congestionEvents }
 
 // MarksSeen returns how many CE-marked segments the receiver observed.
 func (e *Endpoint) MarksSeen() int { return e.marksSeen }
+
+// CEAcked returns how many CE-marked segments the sender has seen covered by
+// accurate-ECN feedback (advancing ACKs with the CE bit, counted even during
+// recovery). For a Scalable flow with no loss, reordering or duplication it
+// must equal both MarksSeen and the AQM's per-flow mark count — the
+// conformance identity the ECN-sanity tests assert.
+func (e *Endpoint) CEAcked() int { return e.ceAcked }
 
 // RTOCount returns how many retransmission timeouts fired.
 func (e *Endpoint) RTOCount() int { return e.rtoCount }
@@ -446,6 +473,18 @@ func (e *Endpoint) onAck(p *packet.Packet) {
 	switch {
 	case p.Ack > e.sndUna:
 		acked := int(p.Ack - e.sndUna)
+		// Accurate-ECN feedback is only meaningful when negotiated: a
+		// Scalable control wired with classic (or no) ECN must fall back
+		// to the once-per-RTT ECE reaction above, not double-react to the
+		// per-ACK CE bit the receiver happens to copy out.
+		ackedCE := p.AckedCE && e.cfg.ECN == ECNScalable
+		if ackedCE {
+			// Count CE-marked segments even during recovery (when the
+			// congestion control is not consulted): this is the sender's
+			// ledger the ECN conformance tests reconcile against the
+			// AQM's per-flow mark count.
+			e.ceAcked += acked
+		}
 		e.sampleRTT(p.Ack-1, now)
 		for s := e.sndUna; s < p.Ack; s++ {
 			delete(e.meta, s)
@@ -480,7 +519,7 @@ func (e *Endpoint) onAck(p *packet.Packet) {
 				e.sendSeg(e.sndUna, true)
 			}
 		} else {
-			e.cc.OnAck(&e.state, acked, p.AckedCE, now)
+			e.cc.OnAck(&e.state, acked, ackedCE, now)
 		}
 		if e.sndNxt > e.sndUna {
 			e.armRTO()

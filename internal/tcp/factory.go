@@ -11,6 +11,7 @@ import "fmt"
 //	ecn-cubic  TCP Cubic with classic ECN (ECT(0)) — the paper's control
 //	dctcp      DCTCP with accurate ECN feedback (ECT(1))
 //	scalable   the idealized Scalable control of Appendix B (ECT(1))
+//	prague     TCP Prague with accurate ECN feedback (ECT(1))
 func NewCC(name string) (CongestionControl, ECNMode, error) {
 	switch name {
 	case "reno":
@@ -25,6 +26,41 @@ func NewCC(name string) (CongestionControl, ECNMode, error) {
 		return &DCTCP{}, ECNScalable, nil
 	case "scalable":
 		return Scalable{}, ECNScalable, nil
+	case "prague":
+		return &Prague{}, ECNScalable, nil
 	}
 	return nil, ECNOff, fmt.Errorf("tcp: unknown congestion control %q", name)
+}
+
+// NewCCFeedback builds a congestion control with an explicit ECN-feedback
+// arm, for conformance matrices that cross algorithms with negotiation
+// outcomes the algorithm would not pick for itself:
+//
+//	""          the algorithm's default wiring (same as NewCC)
+//	"accurate"  per-ACK CE feedback on ECT(1) — the L4S identifier. For a
+//	            Scalable control this is its native mode; for a Classic
+//	            control (cubic, reno) it deliberately builds a
+//	            NON-CONFORMANT sender: ECT(1) packets enter an L4S AQM's
+//	            low-latency queue but the control ignores per-ACK CE, so
+//	            it only backs off on loss — the failure mode RFC 9331
+//	            forbids, kept measurable here.
+//	"classic"   RFC 3168 ECE/CWR on ECT(0). A Scalable control falls back
+//	            to the once-per-RTT classic reaction (the endpoint routes
+//	            ECE through OnCongestionEvent and suppresses per-ACK CE),
+//	            which is Prague's required behaviour when accurate ECN is
+//	            not negotiated.
+func NewCCFeedback(name, feedback string) (CongestionControl, ECNMode, error) {
+	cc, mode, err := NewCC(name)
+	if err != nil {
+		return nil, ECNOff, err
+	}
+	switch feedback {
+	case "":
+		return cc, mode, nil
+	case "accurate":
+		return cc, ECNScalable, nil
+	case "classic":
+		return cc, ECNClassic, nil
+	}
+	return nil, ECNOff, fmt.Errorf("tcp: unknown ECN feedback arm %q", feedback)
 }

@@ -19,6 +19,9 @@ import (
 type BulkFlowSpec struct {
 	// CC is a congestion-control name accepted by tcp.NewCC.
 	CC string
+	// Feedback overrides the CC's default ECN wiring ("accurate" or
+	// "classic", see tcp.NewCCFeedback); "" keeps the default.
+	Feedback string
 	// Count is the number of flows in the group.
 	Count int
 	// RTT is each flow's base round-trip time.
@@ -117,7 +120,7 @@ func StartBulk(s *sim.Simulator, l *link.Link, d *link.Dispatcher, firstID int, 
 	g := &BulkGroup{Spec: spec, Flows: make([]*tcp.Endpoint, 0, spec.Count)}
 	id := firstID
 	for i := 0; i < spec.Count; i++ {
-		cc, mode, err := tcp.NewCC(spec.CC)
+		cc, mode, err := tcp.NewCCFeedback(spec.CC, spec.Feedback)
 		if err != nil {
 			panic(err)
 		}
