@@ -20,6 +20,7 @@ import (
 	"pi2/internal/campaign"
 	"pi2/internal/core"
 	"pi2/internal/experiments"
+	"pi2/internal/ff"
 	"pi2/internal/fluid"
 	"pi2/internal/link"
 	"pi2/internal/packet"
@@ -962,5 +963,113 @@ func BenchmarkECNMarkPath(b *testing.B) {
 	s.Run()
 	if delivered == 0 || l.Marks() == 0 {
 		b.Fatalf("mark path not exercised: delivered=%d marks=%d", delivered, l.Marks())
+	}
+}
+
+// BenchmarkFastForwardEpoch measures one analytic fast-forward epoch on the
+// heavy tier's regime: a quiescent 120-flow PI2 cell advanced one virtual
+// second per op by the hybrid engine (cwnd stepping, fluid queue, RNG-exact
+// mark/drop draws, time-shift commit). The packet-mode interludes needed to
+// re-establish quiescence after a stay-band exit run outside the timer, so
+// ns/op and allocs/op are the epoch path alone — the budget
+// BENCH_hotpath.json gates next to its packet-mode twin BenchmarkManyFlows.
+func BenchmarkFastForwardEpoch(b *testing.B) {
+	const flows = 120
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 2e6 * flows,
+		AQM:     core.New(core.Config{}, s.RNG()),
+		Sojourn: stats.NewDelayHistogram(),
+	}, d.Deliver)
+	eps := make([]*tcp.Endpoint, 0, flows)
+	for id := 1; id <= flows; id++ {
+		var cc tcp.CongestionControl
+		mode := tcp.ECNOff
+		switch id % 3 {
+		case 0:
+			cc = tcp.Reno{}
+		case 1:
+			cc = &tcp.Cubic{}
+		case 2:
+			cc = &tcp.DCTCP{}
+			mode = tcp.ECNScalable
+		}
+		ep := tcp.New(s, l, tcp.Config{ID: id, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond})
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+		eps = append(eps, ep)
+	}
+	eng, ok := ff.New(s, l, eps)
+	if !ok {
+		b.Fatal("PI2 cell must support fast-forward")
+	}
+	s.RunUntil(2 * time.Second)
+	for i := 0; i < 600 && !eng.Quiescent(); i++ {
+		s.RunUntil(s.Now() + 50*time.Millisecond)
+	}
+	if !eng.Quiescent() {
+		b.Fatal("cell never became quiescent")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ffTime time.Duration
+	for i := 0; i < b.N; i++ {
+		adv := eng.TryAdvance(s.Now() + time.Second)
+		ffTime += adv
+		if adv == 0 {
+			b.StopTimer()
+			for j := 0; j < 600 && !eng.Quiescent(); j++ {
+				s.RunUntil(s.Now() + 50*time.Millisecond)
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(ffTime.Seconds()/float64(b.N), "sim_s/op")
+	b.ReportMetric(float64(eng.VirtualPkts)/float64(b.N), "virtual_pkts/op")
+}
+
+// BenchmarkFastForwardTwin runs the same 60-flow heavy-style cell through
+// the full scenario runner in packet mode and in hybrid fast-forward mode —
+// the wall-clock ratio between the two sub-benchmarks is the engine's
+// end-to-end speedup on a quiescent steady state (the tentpole claim;
+// CHANGES.md records the 5000-flow figure from `pi2bench -ff heavy`).
+func BenchmarkFastForwardTwin(b *testing.B) {
+	cell := func(ffOn bool, seed int64) experiments.Scenario {
+		factory, _ := experiments.FactoryByName("pi2", 0)
+		return experiments.Scenario{
+			Seed:           seed,
+			FastForward:    ffOn,
+			LinkRateBps:    2e6 * 60,
+			NewAQM:         factory,
+			CompactMetrics: true,
+			Bulk: []traffic.BulkFlowSpec{
+				{CC: "reno", Count: 20, RTT: 10 * time.Millisecond, Label: "reno"},
+				{CC: "cubic", Count: 20, RTT: 10 * time.Millisecond, Label: "cubic"},
+				{CC: "dctcp", Count: 20, RTT: 10 * time.Millisecond, Label: "dctcp"},
+			},
+			Duration: 8 * time.Second,
+			WarmUp:   3200 * time.Millisecond,
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		ff   bool
+	}{{"packet", false}, {"ff", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var epochs, ffSimMs float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.Run(cell(mode.ff, int64(i+1)))
+				if res.Utilization < 0.9 {
+					b.Fatalf("cell underutilized: %.3f", res.Utilization)
+				}
+				epochs += float64(res.FFEpochs)
+				ffSimMs += res.FFTime.Seconds() * 1e3
+			}
+			b.ReportMetric(epochs/float64(b.N), "ff_epochs/op")
+			b.ReportMetric(ffSimMs/float64(b.N), "ff_sim_ms/op")
+		})
 	}
 }

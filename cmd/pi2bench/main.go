@@ -60,6 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign base seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	shards := flag.Int("shards", 1, "event-loop domains per simulation (conservative PDES); 1 = classic single loop")
+	fastForward := flag.Bool("ff", false, "fast-forward quiescent congestion-avoidance epochs analytically (hybrid fluid/packet); also enables the 10k/50k heavy cells")
 	reps := flag.Int("reps", 1, "repeat heavy/sweep cells N times with perturbed seeds and print ± confidence bands")
 	targetMs := flag.Int("target", 0, "AQM target delay in ms for heavy/sweep/chaos (0 = the paper's 20; Briscoe's PI2 Parameters report suggests 15)")
 	jsonPath := flag.String("json", "", "write per-run records (params, timing, events/sec) to this file")
@@ -75,7 +76,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-shards N] [-reps N]\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-shards N] [-ff] [-reps N]\n")
 		fmt.Fprintf(os.Stderr, "                [-target ms] [-json file] [-v]\n")
 		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
@@ -121,7 +122,7 @@ func main() {
 
 	ctx := &campaign.Context{
 		Quick: *quick, TimeDiv: *timeDiv, Seed: *seed, Jobs: *jobs,
-		Shards: *shards, Reps: *reps, TargetMs: *targetMs,
+		Shards: *shards, FastForward: *fastForward, Reps: *reps, TargetMs: *targetMs,
 		Watchdog: campaign.Watchdog{Timeout: *cellTimeout, Stall: *cellStall},
 		Retries:  *retries,
 	}

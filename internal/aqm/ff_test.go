@@ -1,0 +1,169 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// The fast-forward equivalence tests drive two same-seed twins of an AQM:
+// one through the packet-mode interface (Enqueue with real packets and a
+// QueueInfo, Update with a sojourn-mode estimator) and one through the
+// FastForwarder interface (FFDecide/FFUpdate fed the synthetic equivalents).
+// Equal verdict streams and probability trajectories prove the ff engine
+// consumes exactly the RNG draws and control-law steps packet mode would.
+
+func ecnPattern(i int) packet.ECN {
+	switch i % 4 {
+	case 0:
+		return packet.NotECT
+	case 1:
+		return packet.ECT0
+	case 2:
+		return packet.ECT1
+	default:
+		return packet.CE
+	}
+}
+
+// delayPattern is a deterministic qdelay walk around the 20 ms target,
+// including idle (0) stretches to exercise decay/burst re-arm paths.
+func delayPattern(step int) time.Duration {
+	seq := []time.Duration{
+		25 * time.Millisecond, 40 * time.Millisecond, 18 * time.Millisecond,
+		5 * time.Millisecond, 0, 0, 30 * time.Millisecond, 300 * time.Millisecond,
+		22 * time.Millisecond, 21 * time.Millisecond,
+	}
+	return seq[step%len(seq)]
+}
+
+func TestPIFastForwardTwinEquivalence(t *testing.T) {
+	seed := int64(7)
+	pkt := NewPI(PIConfig{ECN: true}, rand.New(rand.NewSource(seed)))
+	ff := NewPI(PIConfig{ECN: true}, rand.New(rand.NewSource(seed)))
+	q := &fakeQueue{}
+	for step := 0; step < 200; step++ {
+		qd := delayPattern(step)
+		q.sojourn = qd
+		pkt.Update(q, 0)
+		ff.FFUpdate(qd)
+		if pkt.DropProbability() != ff.DropProbability() {
+			t.Fatalf("step %d: p diverged: %g vs %g", step, pkt.DropProbability(), ff.DropProbability())
+		}
+		for i := 0; i < 7; i++ {
+			ecn := ecnPattern(i)
+			vp := pkt.Enqueue(packet.NewData(1, 0, packet.MSS, ecn), q, 0)
+			vf := ff.FFDecide(ecn, packet.MSS+packet.HeaderLen, 0)
+			if vp != vf {
+				t.Fatalf("step %d pkt %d: verdict diverged: %v vs %v", step, i, vp, vf)
+			}
+		}
+	}
+}
+
+func TestPIEFastForwardTwinEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*PIEConfig)
+	}{
+		{"default-sojourn", func(c *PIEConfig) {}},
+		{"ecn", func(c *PIEConfig) { c.ECN = true }},
+		{"derandomize", func(c *PIEConfig) { c.Derandomize = true }},
+		{"bytemode-reworked", func(c *PIEConfig) {
+			c.Bytemode = true
+			c.ECN = true
+			c.ReworkedECN = true
+		}},
+		{"bare", func(c *PIEConfig) {
+			bc := BarePIEConfig()
+			bc.Estimator = EstimateBySojourn
+			*c = bc
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mkCfg := func() PIEConfig {
+				// Sojourn estimation so Update(q) sees exactly the delay
+				// FFUpdate is fed; EstimateByRate would need a live queue.
+				cfg := DefaultPIEConfig()
+				cfg.Estimator = EstimateBySojourn
+				tc.mut(&cfg)
+				return cfg
+			}
+			seed := int64(11)
+			pkt := NewPIE(mkCfg(), rand.New(rand.NewSource(seed)))
+			ff := NewPIE(mkCfg(), rand.New(rand.NewSource(seed)))
+			q := &fakeQueue{bytes: 60 * packet.FullLen}
+			for step := 0; step < 300; step++ {
+				qd := delayPattern(step)
+				q.sojourn = qd
+				pkt.Update(q, 0)
+				ff.FFUpdate(qd)
+				if pkt.DropProbability() != ff.DropProbability() {
+					t.Fatalf("step %d: p diverged: %g vs %g",
+						step, pkt.DropProbability(), ff.DropProbability())
+				}
+				if pkt.QDelay() != ff.QDelay() {
+					t.Fatalf("step %d: qdelay state diverged", step)
+				}
+				for i := 0; i < 7; i++ {
+					ecn := ecnPattern(i)
+					vp := pkt.Enqueue(packet.NewData(1, 0, packet.MSS, ecn), q, 0)
+					vf := ff.FFDecide(ecn, packet.MSS+packet.HeaderLen, q.bytes)
+					if vp != vf {
+						t.Fatalf("step %d pkt %d: verdict diverged: %v vs %v", step, i, vp, vf)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDepartRateFFShift checks a shift in the middle of a measurement cycle
+// yields the same rate as an unshifted twin whose dequeues happened at the
+// translated times: elapsed time within the cycle is preserved.
+func TestDepartRateFFShift(t *testing.T) {
+	const delta = 10 * time.Second
+	var a, b DepartRateEstimator
+	backlog := 4 * DefaultDQThreshold
+	// Twin a: plain cycle. Twin b: identical, but the clock jumps by delta
+	// mid-cycle and FFShift translates the cycle start.
+	a.OnDequeue(packet.FullLen, backlog, 100*time.Millisecond)
+	b.OnDequeue(packet.FullLen, backlog, 100*time.Millisecond)
+	b.FFShift(delta)
+	for now := 101 * time.Millisecond; ; now += time.Millisecond {
+		a.OnDequeue(DefaultDQThreshold/4, backlog, now)
+		b.OnDequeue(DefaultDQThreshold/4, backlog, now+delta)
+		if ra, ok := a.RateBps(); ok {
+			rb, okb := b.RateBps()
+			if !okb || ra != rb {
+				t.Fatalf("rates diverged: %g (ok) vs %g (%v)", ra, rb, okb)
+			}
+			return
+		}
+		if now > time.Second {
+			t.Fatal("cycle never completed")
+		}
+	}
+}
+
+// TestFFShiftOutsideCycleIsNoop ensures a shift with no cycle in progress
+// leaves the estimator untouched.
+func TestFFShiftOutsideCycleIsNoop(t *testing.T) {
+	var d DepartRateEstimator
+	d.FFShift(5 * time.Second)
+	if d.inCycle || d.start != 0 {
+		t.Fatalf("mutated: %+v", d)
+	}
+}
+
+func TestFFTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := NewPI(PIConfig{}, rng).FFTarget(); got != 20*time.Millisecond {
+		t.Fatalf("PI target = %v", got)
+	}
+	if got := NewPIE(DefaultPIEConfig(), rng).FFTarget(); got != 20*time.Millisecond {
+		t.Fatalf("PIE target = %v", got)
+	}
+}

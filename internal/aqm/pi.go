@@ -200,15 +200,11 @@ func (pi *PI) Name() string { return "pi" }
 // DropProbability implements ProbabilityReporter.
 func (pi *PI) DropProbability() float64 { return pi.core.P() }
 
-// Enqueue implements AQM: drop (or mark) with probability p.
+// Enqueue implements AQM: drop (or mark) with probability p. The decision
+// logic lives in FFDecide so packet mode and fast-forward mode share one
+// RNG discipline.
 func (pi *PI) Enqueue(p *packet.Packet, _ QueueInfo, _ time.Duration) Verdict {
-	if pi.rng.Float64() >= pi.core.P() {
-		return Accept
-	}
-	if pi.cfg.ECN && p.ECN.ECNCapable() {
-		return Mark
-	}
-	return Drop
+	return pi.FFDecide(p.ECN, p.WireLen, 0)
 }
 
 // Dequeue implements AQM.
@@ -223,6 +219,5 @@ func (pi *PI) UpdateInterval() time.Duration { return pi.cfg.Tupdate }
 
 // Update implements AQM.
 func (pi *PI) Update(q QueueInfo, now time.Duration) {
-	qdelay := EstimateDelay(pi.cfg.Estimator, q, &pi.rate, now)
-	pi.core.Update(qdelay)
+	pi.FFUpdate(EstimateDelay(pi.cfg.Estimator, q, &pi.rate, now))
 }

@@ -178,41 +178,16 @@ func (pe *PIE) DropProbability() float64 { return pe.core.P() }
 // QDelay returns the AQM's own latest queue-delay estimate.
 func (pe *PIE) QDelay() time.Duration { return pe.qdelay }
 
-// Enqueue implements AQM: PIE's drop_early decision.
+// Enqueue implements AQM: PIE's drop_early decision. The decision logic
+// lives in FFDecide so packet mode and fast-forward mode share one RNG
+// discipline.
 func (pe *PIE) Enqueue(p *packet.Packet, q QueueInfo, now time.Duration) Verdict {
-	prob := pe.core.P()
-	if pe.cfg.Bytemode {
-		prob *= float64(p.WireLen) / float64(packet.FullLen)
-	}
-	if pe.burst > 0 {
-		return Accept
-	}
-	if pe.cfg.Suppress && pe.qdelay < pe.cfg.Target/2 && prob < 0.2 {
-		return Accept
-	}
-	if pe.cfg.MinBacklog > 0 && q.BacklogBytes() <= pe.cfg.MinBacklog {
-		return Accept
-	}
-	if pe.cfg.Derandomize {
-		pe.accuProb += prob
-		if pe.accuProb < 0.85 {
-			return Accept
-		}
-		if pe.accuProb >= 8.5 {
-			pe.accuProb = 0
-			return pe.signal(p)
-		}
-	}
-	if pe.rng.Float64() >= prob {
-		return Accept
-	}
-	pe.accuProb = 0
-	return pe.signal(p)
+	return pe.FFDecide(p.ECN, p.WireLen, q.BacklogBytes())
 }
 
 // signal picks mark vs drop for a packet that lost the probability draw.
-func (pe *PIE) signal(p *packet.Packet) Verdict {
-	if pe.cfg.ECN && p.ECN.ECNCapable() {
+func (pe *PIE) signal(ecn packet.ECN) Verdict {
+	if pe.cfg.ECN && ecn.ECNCapable() {
 		if pe.cfg.ReworkedECN || pe.core.P() <= pe.cfg.MarkECNThreshold {
 			return Mark
 		}
@@ -230,37 +205,8 @@ func (pe *PIE) Dequeue(p *packet.Packet, q QueueInfo, now time.Duration) {
 // UpdateInterval implements AQM.
 func (pe *PIE) UpdateInterval() time.Duration { return pe.cfg.Tupdate }
 
-// Update implements AQM: one control-law step with PIE's scaling and caps.
+// Update implements AQM: one control-law step with PIE's scaling and caps
+// (the pipeline itself lives in FFUpdate, fed by the configured estimator).
 func (pe *PIE) Update(q QueueInfo, now time.Duration) {
-	qdelay := EstimateDelay(pe.cfg.Estimator, q, &pe.rate, now)
-	prevDelay := pe.core.PrevDelay()
-	prob := pe.core.P()
-
-	delta := pe.core.Delta(qdelay)
-	if pe.cfg.AutoTune {
-		delta *= AutoTuneFactor(prob)
-	}
-	if pe.cfg.DeltaCap && prob >= 0.1 && delta > 0.02 {
-		delta = 0.02
-	}
-	if pe.cfg.BigDropCap && qdelay > 250*time.Millisecond {
-		delta = 0.02
-	}
-	prob = pe.core.Apply(delta, qdelay)
-
-	if pe.cfg.Decay && qdelay == 0 && prevDelay == 0 {
-		pe.core.SetP(prob * 0.98)
-	}
-
-	// Burst-allowance bookkeeping.
-	if pe.burst > 0 {
-		pe.burst -= pe.cfg.Tupdate
-		if pe.burst < 0 {
-			pe.burst = 0
-		}
-	} else if pe.cfg.BurstAllowance > 0 &&
-		pe.core.P() == 0 && qdelay < pe.cfg.Target/2 && prevDelay < pe.cfg.Target/2 {
-		pe.burst = pe.cfg.BurstAllowance
-	}
-	pe.qdelay = qdelay
+	pe.FFUpdate(EstimateDelay(pe.cfg.Estimator, q, &pe.rate, now))
 }

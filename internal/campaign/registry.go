@@ -88,6 +88,9 @@ type Context struct {
 	// Shards is the per-cell simulation shard count passed through
 	// ExecOptions to every TaskCtx (0/1 = classic single event loop).
 	Shards int
+	// FastForward passes the hybrid fluid/packet switch through
+	// ExecOptions to every TaskCtx (the CLI's -ff flag).
+	FastForward bool
 	// Reps repeats each table cell with perturbed seeds and reports
 	// cross-seed confidence bands; 0/1 keeps the single-run tables.
 	Reps int

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/packet"
+)
+
+// Fast-forward support for PI2 and DualPI2. PI2 implements the full
+// aqm.FastForwarder contract (its Enqueue/Update delegate here, so packet
+// mode and fast-forward mode share one RNG discipline). DualPI2 only exposes
+// control-law stepping: dual-queue epochs keep two coupled backlogs whose
+// interaction (time-shifted priority, ramp marking at dequeue) has no
+// closed-form fluid model here, so the ff engine leaves dualpi2 scenarios in
+// packet mode and this hook exists for unit-level validation.
+
+var _ aqm.FastForwarder = (*PI2)(nil)
+
+// FFDecide implements aqm.FastForwarder: the Figure 9 classifier fed a
+// synthetic arrival. Scalable packets consume exactly one draw ("think once
+// to mark"); Classic packets consume one draw under UseMultiply and one or
+// two draws (short-circuit) under the hardware form — the same draws Enqueue
+// makes.
+func (q2 *PI2) FFDecide(ecn packet.ECN, _, _ int) Verdict {
+	if ecn.Scalable() {
+		if q2.rng.Float64() < q2.ScalableProbability() {
+			return aqm.Mark
+		}
+		return aqm.Accept
+	}
+	if !q2.squaredHit() {
+		return aqm.Accept
+	}
+	if ecn == packet.ECT0 {
+		return aqm.Mark
+	}
+	return aqm.Drop
+}
+
+// FFUpdate implements aqm.FastForwarder: one plain PI step on p′ with a
+// synthetic queue-delay observation.
+func (q2 *PI2) FFUpdate(qdelay time.Duration) { q2.core.Update(qdelay) }
+
+// FFShift implements aqm.FastForwarder.
+func (q2 *PI2) FFShift(delta time.Duration) { q2.rate.FFShift(delta) }
+
+// FFTarget implements aqm.FastForwarder.
+func (q2 *PI2) FFTarget() time.Duration { return q2.cfg.Target }
+
+// FFUpdate steps DualPI2's shared control law with a synthetic queue-delay
+// observation, exactly as the periodic update would for the deeper of the
+// two head sojourns. DualLink deliberately does NOT implement the full
+// FastForwarder interface — see the package comment above.
+func (d *DualLink) FFUpdate(qdelay time.Duration) { d.core.Update(qdelay) }

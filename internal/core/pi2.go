@@ -124,24 +124,10 @@ func (q2 *PI2) ScalableProbability() float64 {
 }
 
 // Enqueue implements aqm.AQM: the Figure 9 classifier and decision blocks.
+// The decision logic lives in FFDecide so packet mode and fast-forward mode
+// share one RNG discipline.
 func (q2 *PI2) Enqueue(p *packet.Packet, _ aqm.QueueInfo, _ time.Duration) Verdict {
-	if p.ECN.Scalable() {
-		// "Think once to mark": Scalable packets are marked with the
-		// linear probability, no squaring.
-		if q2.rng.Float64() < q2.ScalableProbability() {
-			return aqm.Mark
-		}
-		return aqm.Accept
-	}
-	// "Think twice to drop": Classic packets face the squared
-	// probability — drop for Not-ECT, CE-mark for ECT(0).
-	if !q2.squaredHit() {
-		return aqm.Accept
-	}
-	if p.ECN == packet.ECT0 {
-		return aqm.Mark
-	}
-	return aqm.Drop
+	return q2.FFDecide(p.ECN, p.WireLen, 0)
 }
 
 // squaredHit draws the squared-probability decision: either one uniform
@@ -170,6 +156,5 @@ func (q2 *PI2) UpdateInterval() time.Duration { return q2.cfg.Tupdate }
 // Update implements aqm.AQM: one plain PI step — no auto-tuning, no
 // heuristics; that is the point.
 func (q2 *PI2) Update(q aqm.QueueInfo, now time.Duration) {
-	qdelay := aqm.EstimateDelay(q2.cfg.Estimator, q, &q2.rate, now)
-	q2.core.Update(qdelay)
+	q2.FFUpdate(aqm.EstimateDelay(q2.cfg.Estimator, q, &q2.rate, now))
 }

@@ -39,6 +39,11 @@ type Options struct {
 	// Scenarios that cannot shard (too few flows, no propagation delay)
 	// ignore it.
 	Shards int
+	// FastForward turns on the hybrid fluid/packet engine for eligible
+	// cells (steady bulk population, FastForwarder AQM); ineligible cells
+	// silently run per-packet. It also extends the heavy tier with the
+	// 10000- and 50000-flow cells that are only tractable analytically.
+	FastForward bool
 	// Reps repeats each heavy/sweep cell with perturbed seeds and reports
 	// cross-seed confidence bands; 0/1 keeps the single-run tables
 	// (byte-identical to builds without the knob).
@@ -83,6 +88,7 @@ func (o Options) exec() campaign.ExecOptions {
 	return campaign.ExecOptions{
 		Jobs:         jobs,
 		Shards:       o.Shards,
+		FastForward:  o.FastForward,
 		BaseSeed:     o.seed(),
 		Progress:     o.Progress,
 		Collector:    o.Collect,

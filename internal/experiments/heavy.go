@@ -11,6 +11,7 @@ import (
 	"pi2/internal/campaign"
 	"pi2/internal/core"
 	"pi2/internal/link"
+	"pi2/internal/packet"
 	"pi2/internal/sim"
 	"pi2/internal/stats"
 	"pi2/internal/tcp"
@@ -31,6 +32,12 @@ const (
 // HeavyFlowCounts is the flow-count axis of the heavy scaling tier.
 var HeavyFlowCounts = []int{10, 100, 1000, 5000}
 
+// HeavyFFFlowCounts extends the axis under -ff: flow populations whose
+// steady state is only tractable with the fast-forward engine. They run on
+// the single-queue AQMs only — DualPI2's coupled dual queue stays in packet
+// mode (see internal/ff), so those cells would be pure packet slog.
+var HeavyFFFlowCounts = []int{10000, 50000}
+
 // HeavyAQMs are the bottleneck disciplines compared at each flow count.
 var HeavyAQMs = []string{"pie", "pi2", "dualpi2"}
 
@@ -48,12 +55,21 @@ type HeavyPoint struct {
 	// Util is the bottleneck's busy fraction.
 	Util float64
 
-	// Simulator-throughput metrics for the scaling story.
+	// Simulator-throughput metrics for the scaling story. Events counts
+	// packet-mode simulator events only; fast-forwarded virtual traffic is
+	// reported separately so event throughput and wall speedup stay
+	// distinguishable.
 	Events       uint64
 	WallMs       float64
 	EventsPerSec float64
 	// SimSecPerWallSec is simulated seconds per wall-clock second.
 	SimSecPerWallSec float64
+	// FFEpochs / FFVirtualPkts / FFTimeS are the fast-forward engine's
+	// telemetry (all zero without -ff): committed epochs, virtual packets
+	// decided analytically, and simulated seconds skipped.
+	FFEpochs      int
+	FFVirtualPkts uint64
+	FFTimeS       float64
 
 	// Reps > 1 marks a cross-seed aggregate: the cell ran Reps times with
 	// perturbed seeds, the point estimates above are cross-seed means (with
@@ -106,7 +122,11 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 	reps := o.reps()
 	var tasks []campaign.Task
 	for _, aqmName := range HeavyAQMs {
-		for _, n := range counts {
+		cs := counts
+		if o.FastForward && !o.Quick && aqmName != "dualpi2" {
+			cs = append(append([]int{}, counts...), HeavyFFFlowCounts...)
+		}
+		for _, n := range cs {
 			for rep := 0; rep < reps; rep++ {
 				aqmName, n := aqmName, n
 				// The rep loop is innermost with SeedIndex = len(tasks), so
@@ -179,9 +199,14 @@ func aggregateHeavy(pts []HeavyPoint) HeavyPoint {
 	var jain, qmean, qp99, util stats.Welford
 	pooled := stats.NewDelayHistogram()
 	var rates stats.Welford
-	var events uint64
+	var events, ffPkts uint64
+	var ffEpochs int
+	var ffTime float64
 	for _, p := range pts {
 		jain.Add(p.Jain)
+		ffEpochs += p.FFEpochs
+		ffPkts += p.FFVirtualPkts
+		ffTime += p.FFTimeS
 		qmean.Add(p.QMeanMs)
 		qp99.Add(p.QP99Ms)
 		util.Add(p.Util)
@@ -205,6 +230,9 @@ func aggregateHeavy(pts []HeavyPoint) HeavyPoint {
 		agg.RateCoV = rates.Stddev() / m
 	}
 	agg.Events = events / uint64(len(pts))
+	agg.FFEpochs = ffEpochs / len(pts)
+	agg.FFVirtualPkts = ffPkts / uint64(len(pts))
+	agg.FFTimeS = ffTime / float64(len(pts))
 	agg.soj, agg.rateW = pooled, rates
 	return agg
 }
@@ -231,11 +259,27 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 	}
 	dur := heavyDuration(o)
 	reno, cubic, dctcp := heavyMix(n)
+	rate := heavyPerFlowBps * float64(n)
+	// The fast-forward extension cells (10k/50k flows) outgrow the Table 1
+	// buffer: 40000 packets is under 5 ms of queue at 100 Gb/s, below the
+	// AQM operating point, so the queue could never park near target. Those
+	// cells get a 100 ms buffer instead; the standard axis keeps the paper
+	// default (and its golden fingerprints).
+	buf := 0
+	for _, ffn := range HeavyFFFlowCounts {
+		if n == ffn {
+			if b := int(rate * 0.1 / 8 / packet.FullLen); b > 40000 {
+				buf = b
+			}
+		}
+	}
 	sc := Scenario{
 		Seed:           tc.Seed,
 		Watch:          tc.Watch,
 		Shards:         tc.Shards,
-		LinkRateBps:    heavyPerFlowBps * float64(n),
+		FastForward:    o.FastForward,
+		LinkRateBps:    rate,
+		BufferPackets:  buf,
 		NewAQM:         factory,
 		CompactMetrics: true,
 		Bulk: []traffic.BulkFlowSpec{
@@ -248,13 +292,16 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 	}
 	r := Run(sc)
 	p := HeavyPoint{
-		Flows:   n,
-		AQM:     aqmName,
-		Jain:    jainOf(r),
-		QMeanMs: r.Sojourn.Mean() * 1e3,
-		QP99Ms:  r.Sojourn.Percentile(99) * 1e3,
-		Util:    r.Utilization,
-		Events:  r.Events,
+		Flows:         n,
+		AQM:           aqmName,
+		Jain:          jainOf(r),
+		QMeanMs:       r.Sojourn.Mean() * 1e3,
+		QP99Ms:        r.Sojourn.Percentile(99) * 1e3,
+		Util:          r.Utilization,
+		Events:        r.Events,
+		FFEpochs:      r.FFEpochs,
+		FFVirtualPkts: r.FFVirtualPkts,
+		FFTimeS:       r.FFTime.Seconds(),
 	}
 	p.soj, _ = r.Sojourn.(*stats.LogHistogram)
 	for _, g := range r.Groups {
@@ -363,13 +410,18 @@ func PrintHeavy(w io.Writer, pts []HeavyPoint) {
 // and events/sec) plus a process-heap footer from runtime.ReadMemStats.
 // These depend on the host and GC timing, not the simulation, so they are
 // kept off experiment stdout (the registry sends them to stderr) and out of
-// Metrics().
+// Metrics(). Event throughput and wall speedup are separate columns on
+// purpose: pkt_events_per_sec is real packet-mode event processing only,
+// while sim_s_per_wall_s is the end-to-end speedup — under -ff the two
+// diverge, and the ff_* columns say how much simulated time was covered
+// analytically instead.
 func PrintHeavyPerf(w io.Writer, pts []HeavyPoint) {
 	fmt.Fprintln(w, "# simulator throughput (host-dependent, informational)")
-	fmt.Fprintln(w, "aqm\tflows\twall_s\tevents_per_sec\tsim_s_per_wall_s")
+	fmt.Fprintln(w, "aqm\tflows\twall_s\tpkt_events_per_sec\tsim_s_per_wall_s\tff_epochs\tff_sim_s\tff_virtual_pkts")
 	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.3g\t%.3g\n",
-			p.AQM, p.Flows, p.WallMs/1e3, p.EventsPerSec, p.SimSecPerWallSec)
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.3g\t%.3g\t%d\t%.1f\t%d\n",
+			p.AQM, p.Flows, p.WallMs/1e3, p.EventsPerSec, p.SimSecPerWallSec,
+			p.FFEpochs, p.FFTimeS, p.FFVirtualPkts)
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

@@ -23,6 +23,7 @@ func opts(ctx *campaign.Context) Options {
 		Retries:      ctx.Retries,
 		RetryBackoff: ctx.RetryBackoff,
 		Shards:       ctx.Shards,
+		FastForward:  ctx.FastForward,
 		Reps:         ctx.Reps,
 		Target:       time.Duration(ctx.TargetMs) * time.Millisecond,
 	}

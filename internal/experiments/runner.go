@@ -79,6 +79,15 @@ type Scenario struct {
 	// built. Drivers set it to the campaign TaskCtx's Watch so the
 	// watchdog can cancel the run and observe its virtual clock.
 	Watch func(campaign.Canceler)
+	// FastForward enables the hybrid fluid/packet engine: quiescent
+	// congestion-avoidance epochs are advanced analytically from one AQM
+	// update to the next instead of packet by packet (see internal/ff and
+	// DESIGN.md). Only scenarios with a steady bulk population and a
+	// FastForwarder AQM actually engage it — everything else (staged, UDP,
+	// web, rate changes, impairments, SACK) silently runs the classic
+	// per-packet loop. Off (the default) keeps the run byte-identical to
+	// builds without the engine.
+	FastForward bool
 	// Shards, when ≥ 2, runs the scenario on the conservative-PDES
 	// coordinator: bulk flows are partitioned across Shards-1 endpoint
 	// domains and the bottleneck link+AQM owns the last domain, all
@@ -183,7 +192,16 @@ type Result struct {
 	// layer's interventions (all zero without Scenario.Impair).
 	FaultDrops, FaultDups, FaultReorders int
 	// Events is the number of simulator events processed (bench metric).
+	// Virtual fast-forward traffic is deliberately excluded: this counts
+	// real packet-mode work only.
 	Events uint64
+	// FFEpochs, FFZeroEpochs, FFVirtualPkts and FFTime are the fast-forward
+	// engine's telemetry: committed epochs, detected-but-empty epochs (test
+	// hook), virtual packets decided, and total virtual time skipped. All
+	// zero when Scenario.FastForward is off or never engaged.
+	FFEpochs, FFZeroEpochs int
+	FFVirtualPkts          uint64
+	FFTime                 time.Duration
 }
 
 // EventCount reports the processed-event total; it satisfies
@@ -305,8 +323,12 @@ func Run(sc Scenario) *Result {
 	}
 	flows = append(flows, staged...)
 
-	// Warm-up boundary: restart every steady-state statistic.
-	s.At(sc.WarmUp, func() {
+	// Warm-up boundary: restart every steady-state statistic. In
+	// fast-forward mode the hybrid loop invokes the reset at the exact
+	// boundary instead of scheduling it: ShiftPending translates every
+	// pending event when an epoch commits — right for frozen packet
+	// processes, wrong for an absolute-calendar event like this one.
+	warmReset := func() {
 		l.ResetStats()
 		now := s.Now()
 		for _, f := range flows {
@@ -315,7 +337,11 @@ func Run(sc Scenario) *Result {
 		for _, u := range udps {
 			u.ResetStats(now)
 		}
-	})
+	}
+	eng := newFFEngine(sc, s, l, flows)
+	if eng == nil {
+		s.At(sc.WarmUp, warmReset)
+	}
 
 	// Coarse sampler: queue delay, total goodput, per-interval utilization.
 	var lastGoodput, lastDelivered int64
@@ -358,7 +384,12 @@ func Run(sc Scenario) *Result {
 		}
 	})
 
-	s.RunUntil(sc.Duration)
+	if eng != nil {
+		runFastForward(eng, s.Now, s.RunUntil, sc, warmReset)
+		ffCollect(res, eng)
+	} else {
+		s.RunUntil(sc.Duration)
+	}
 
 	// Collect.
 	now := s.Now()

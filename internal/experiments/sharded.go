@@ -164,6 +164,7 @@ func runSharded(sc Scenario) *Result {
 	nextID := 1
 	fIdx := 0
 	var groups []*traffic.BulkGroup
+	var allBulk []*tcp.Endpoint
 	domFlows := make([][]*tcp.Endpoint, nDom)
 	for _, spec := range sc.Bulk {
 		if sc.SACK {
@@ -201,6 +202,7 @@ func runSharded(sc Scenario) *Result {
 				es.At(spec.StopAt, ep.Stop)
 			}
 			g.Flows = append(g.Flows, ep)
+			allBulk = append(allBulk, ep)
 			domFlows[domID] = append(domFlows[domID], ep)
 			fIdx++
 		}
@@ -235,26 +237,45 @@ func runSharded(sc Scenario) *Result {
 
 	// Warm-up boundary: each domain resets its own flows' meters; the link
 	// domain also resets the link and UDP meters. Per-domain scheduling
-	// keeps the reset on the goroutine that owns the state.
-	ls.At(sc.WarmUp, func() {
+	// keeps the reset on the goroutine that owns the state. In fast-forward
+	// mode the hybrid loop (running on this coordinator thread while every
+	// domain is parked at the window edge) performs the reset for all
+	// domains at the exact boundary instead — ShiftPending would carry a
+	// scheduled reset along with the frozen packet processes.
+	warmReset := func() {
 		l.ResetStats()
 		now := ls.Now()
-		for _, f := range domFlows[0] {
-			f.Goodput.Reset(now)
+		for i := 0; i < nDom; i++ {
+			for _, f := range domFlows[i] {
+				f.Goodput.Reset(now)
+			}
 		}
 		for _, u := range udps {
 			u.ResetStats(now)
 		}
-	})
-	for i := 1; i < nDom; i++ {
-		es := co.Domain(i).Sim()
-		fl := domFlows[i]
-		es.At(sc.WarmUp, func() {
-			now := es.Now()
-			for _, f := range fl {
+	}
+	eng := newFFEngine(sc, co, l, allBulk)
+	if eng == nil {
+		ls.At(sc.WarmUp, func() {
+			l.ResetStats()
+			now := ls.Now()
+			for _, f := range domFlows[0] {
 				f.Goodput.Reset(now)
 			}
+			for _, u := range udps {
+				u.ResetStats(now)
+			}
 		})
+		for i := 1; i < nDom; i++ {
+			es := co.Domain(i).Sim()
+			fl := domFlows[i]
+			es.At(sc.WarmUp, func() {
+				now := es.Now()
+				for _, f := range fl {
+					f.Goodput.Reset(now)
+				}
+			})
+		}
 	}
 
 	// Goodput is sampled per domain (each domain reads only its own flows)
@@ -317,7 +338,18 @@ func runSharded(sc Scenario) *Result {
 		}
 	})
 
-	co.RunUntil(sc.Duration)
+	// The fast-forward engine runs on this (coordinator) thread between
+	// barrier windows, when every domain goroutine is parked at the window
+	// edge — flow and link state is safe to read and mutate, and
+	// Coordinator.ShiftPending translates all domain clocks and in-flight
+	// wire traffic together. Flow order is creation order, so the RNG draw
+	// sequence matches the unsharded engine exactly.
+	if eng != nil {
+		runFastForward(eng, co.Now, co.RunUntil, sc, warmReset)
+		ffCollect(res, eng)
+	} else {
+		co.RunUntil(sc.Duration)
+	}
 
 	// Collect — same reductions as the single-simulator path. All domain
 	// clocks sit at sc.Duration after RunUntil.

@@ -1,0 +1,287 @@
+package ff
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pi2/internal/aqm"
+	"pi2/internal/core"
+	"pi2/internal/link"
+	"pi2/internal/sim"
+	"pi2/internal/stats"
+	"pi2/internal/tcp"
+)
+
+// buildCell wires a small heavy-style cell: a PI2 bottleneck sized for
+// 2 Mb/s per flow at 10 ms RTT, with a reno/cubic/dctcp mix — the regime the
+// fast-forward engine targets.
+func buildCell(t *testing.T, seed int64, reno, cubic, dctcp int) (*sim.Simulator, *link.Link, []*tcp.Endpoint) {
+	t.Helper()
+	n := reno + cubic + dctcp
+	s := sim.New(seed)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		RateBps: 2e6 * float64(n),
+		AQM:     core.New(core.Config{}, s.RNG()),
+		Sojourn: stats.NewDelayHistogram(),
+	}, d.Deliver)
+	var flows []*tcp.Endpoint
+	id := 1
+	mk := func(name string, count int) {
+		for i := 0; i < count; i++ {
+			cc, mode, err := tcp.NewCCFeedback(name, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep := tcp.NewWithEnqueuer(s, l.Enqueue, tcp.Config{
+				ID: id, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond,
+			})
+			d.Register(id, ep.DeliverData)
+			ep.Start()
+			id++
+			flows = append(flows, ep)
+		}
+	}
+	mk("reno", reno)
+	mk("cubic", cubic)
+	mk("dctcp", dctcp)
+	return s, l, flows
+}
+
+// seekQuiescent runs packet mode in short chunks until the engine's entry
+// predicate holds, failing the test if it never does.
+func seekQuiescent(t *testing.T, s *sim.Simulator, eng *Engine) {
+	t.Helper()
+	for i := 0; i < 600; i++ {
+		if eng.Quiescent() {
+			return
+		}
+		s.RunUntil(s.Now() + 50*time.Millisecond)
+	}
+	t.Fatal("system never became quiescent")
+}
+
+// TestEngineAdvanceAndResume: a committed epoch advances the clock, produces
+// virtual traffic, and packet mode resumes cleanly — auditor invariants
+// intact and post-epoch sojourns not inflated by the jump.
+func TestEngineAdvanceAndResume(t *testing.T) {
+	s, l, flows := buildCell(t, 7, 2, 2, 2)
+	eng, ok := New(s, l, flows)
+	if !ok {
+		t.Fatal("PI2 cell must support fast-forward")
+	}
+	s.RunUntil(4 * time.Second)
+	seekQuiescent(t, s, eng)
+
+	start := s.Now()
+	goodput0 := flows[0].Goodput.Bytes()
+	delta := eng.TryAdvance(start + 2*time.Second)
+	if delta <= 0 {
+		t.Fatal("quiescent system refused to advance")
+	}
+	if got := s.Now(); got != start+delta {
+		t.Fatalf("clock = %v, want %v", got, start+delta)
+	}
+	if eng.Epochs != 1 || eng.VirtualPkts == 0 || eng.FFTime != delta {
+		t.Fatalf("telemetry: epochs=%d pkts=%d fftime=%v (delta %v)",
+			eng.Epochs, eng.VirtualPkts, eng.FFTime, delta)
+	}
+	if flows[0].Goodput.Bytes() == goodput0 {
+		t.Fatal("virtual progress did not reach the flow's goodput meter")
+	}
+	if got := l.Enqueues() - l.Dequeues() - l.TotalDrops() - l.BacklogPackets(); got != 0 {
+		t.Fatalf("link conservation broken by %d", got)
+	}
+
+	// Resume packet mode across the seam.
+	s.RunUntil(s.Now() + 2*time.Second)
+	if v := l.Audit().Violations(); v != nil {
+		t.Fatalf("auditor violations after resume: %v", v)
+	}
+	if got := l.Sojourn.Max(); got > 1.0 {
+		t.Fatalf("post-epoch sojourn inflated: %gs", got)
+	}
+}
+
+// TestEngineBarrier: the epoch never crosses the barrier, and a barrier
+// closer than one update period commits nothing.
+func TestEngineBarrier(t *testing.T) {
+	s, l, flows := buildCell(t, 11, 2, 2, 2)
+	eng, ok := New(s, l, flows)
+	if !ok {
+		t.Fatal("engine must build")
+	}
+	s.RunUntil(4 * time.Second)
+	seekQuiescent(t, s, eng)
+
+	now := s.Now()
+	if d := eng.TryAdvance(now + eng.Tupdate()/2); d != 0 {
+		t.Fatalf("advanced %v past a sub-period barrier", d)
+	}
+	barrier := now + 5*eng.Tupdate()
+	if d := eng.TryAdvance(barrier); s.Now() > barrier {
+		t.Fatalf("epoch crossed barrier: now %v > %v (delta %v)", s.Now(), barrier, d)
+	}
+}
+
+// TestEngineForceZero: a detected epoch with ForceZero set mutates nothing —
+// the zero-length-epoch property the experiments-level byte-identity test
+// builds on.
+func TestEngineForceZero(t *testing.T) {
+	s, l, flows := buildCell(t, 13, 2, 2, 2)
+	eng, ok := New(s, l, flows)
+	if !ok {
+		t.Fatal("engine must build")
+	}
+	eng.ForceZero = true
+	s.RunUntil(4 * time.Second)
+	seekQuiescent(t, s, eng)
+
+	type flowSnap struct {
+		cwnd    float64
+		goodput int64
+	}
+	now := s.Now()
+	enq, deq, marks := l.Enqueues(), l.Dequeues(), l.Marks()
+	pp := l.AQM().(*core.PI2).PPrime()
+	var snaps []flowSnap
+	for _, f := range flows {
+		snaps = append(snaps, flowSnap{f.FFCwnd(), f.Goodput.Bytes()})
+	}
+
+	if d := eng.TryAdvance(now + time.Second); d != 0 {
+		t.Fatalf("ForceZero epoch advanced %v", d)
+	}
+	if eng.ZeroEpochs != 1 || eng.Epochs != 0 || eng.VirtualPkts != 0 {
+		t.Fatalf("telemetry: zero=%d epochs=%d pkts=%d",
+			eng.ZeroEpochs, eng.Epochs, eng.VirtualPkts)
+	}
+	if s.Now() != now {
+		t.Fatalf("clock moved: %v -> %v", now, s.Now())
+	}
+	if l.Enqueues() != enq || l.Dequeues() != deq || l.Marks() != marks {
+		t.Fatal("link counters mutated")
+	}
+	if got := l.AQM().(*core.PI2).PPrime(); got != pp {
+		t.Fatalf("AQM p' mutated: %g -> %g", pp, got)
+	}
+	for i, f := range flows {
+		if f.FFCwnd() != snaps[i].cwnd || f.Goodput.Bytes() != snaps[i].goodput {
+			t.Fatalf("flow %d mutated", i)
+		}
+	}
+}
+
+// TestEngineRefusals: non-FastForwarder AQMs and empty flow sets refuse to
+// build; a slow-start population refuses to enter.
+func TestEngineRefusals(t *testing.T) {
+	s := sim.New(1)
+	d := link.NewDispatcher()
+	tail := link.New(s, link.Config{RateBps: 1e7, AQM: aqm.TailDrop{}}, d.Deliver)
+	cc, mode, _ := tcp.NewCCFeedback("reno", "")
+	ep := tcp.NewWithEnqueuer(s, tail.Enqueue, tcp.Config{
+		ID: 1, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond,
+	})
+	if _, ok := New(s, tail, []*tcp.Endpoint{ep}); ok {
+		t.Fatal("tail-drop must not fast-forward")
+	}
+
+	s2, l2, flows2 := buildCell(t, 17, 1, 0, 0)
+	eng, ok := New(s2, l2, flows2)
+	if !ok {
+		t.Fatal("engine must build")
+	}
+	// Fresh flows are in slow start with an empty queue: not quiescent.
+	if eng.Quiescent() {
+		t.Fatal("cold-start system reported quiescent")
+	}
+}
+
+// TestEngineRenoEquilibrium drives a Reno-only PI2 cell mostly analytically
+// and checks the fast-forwarded steady state against the fluid-model
+// operating point internal/fluid linearizes around: for Reno under PI2 the
+// classic drop probability is p = p'^2 and equilibrium obeys p·w² = 2
+// (κR = 1/(2p₀) in equation (35) is this relation differentiated), i.e.
+// w₀ = √(2/p). The analytic stepping must land on the same curve the
+// per-packet simulation — and the paper's control design — sit on.
+func TestEngineRenoEquilibrium(t *testing.T) {
+	n := 4
+	s := sim.New(23)
+	d := link.NewDispatcher()
+	l := link.New(s, link.Config{
+		// 10 Mb/s per flow: a per-flow window of ~25 segments, deep in the
+		// small-p regime where the square-root law is clean.
+		RateBps: 1e7 * float64(n),
+		AQM:     core.New(core.Config{}, s.RNG()),
+		Sojourn: stats.NewDelayHistogram(),
+	}, d.Deliver)
+	var flows []*tcp.Endpoint
+	for id := 1; id <= n; id++ {
+		cc, mode, err := tcp.NewCCFeedback("reno", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := tcp.NewWithEnqueuer(s, l.Enqueue, tcp.Config{
+			ID: id, CC: cc, ECN: mode, BaseRTT: 10 * time.Millisecond,
+		})
+		d.Register(id, ep.DeliverData)
+		ep.Start()
+		flows = append(flows, ep)
+	}
+	eng, ok := New(s, l, flows)
+	if !ok {
+		t.Fatal("engine must build")
+	}
+	s.RunUntil(4 * time.Second)
+	seekQuiescent(t, s, eng)
+
+	// Hybrid loop to 120 s of virtual time in 1 s epochs. The PI2 integrator
+	// and the Reno sawtooth oscillate slowly around the operating point, so
+	// the equilibrium estimate is a time average over epoch boundaries in
+	// the second half of the run, not a single-instant snapshot.
+	end := 120 * time.Second
+	var pSum, wSum float64
+	var samples int
+	for s.Now() < end {
+		if eng.TryAdvance(s.Now()+time.Second) == 0 {
+			s.RunUntil(s.Now() + 128*time.Millisecond)
+		}
+		if s.Now() > end/2 {
+			pp := l.AQM().(*core.PI2).PPrime()
+			var w float64
+			for _, f := range flows {
+				w += f.FFCwnd()
+			}
+			pSum += pp * pp
+			wSum += w / float64(n)
+			samples++
+		}
+	}
+	if eng.FFTime < 90*time.Second {
+		t.Fatalf("cell was not mostly fast-forwarded: ffTime=%v", eng.FFTime)
+	}
+	if samples < 20 {
+		t.Fatalf("too few equilibrium samples: %d", samples)
+	}
+
+	p := pSum / float64(samples)
+	if p <= 0 {
+		t.Fatal("no operating point: p = 0")
+	}
+	pp := math.Sqrt(p)
+	meanW := wSum / float64(samples)
+	want := math.Sqrt(2 / p)
+	ratio := meanW / want
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("equilibrium off the √(2/p) curve: p'=%.4f p=%.5f meanCwnd=%.1f want≈%.1f (ratio %.2f)",
+			pp, p, meanW, want, ratio)
+	}
+	// The queue must still be parked near the PI2 target (the band the
+	// engine promises to stay in).
+	if qd := l.QueueDelayNow(); qd < 5*time.Millisecond || qd > 80*time.Millisecond {
+		t.Errorf("queue left the operating band: %v", qd)
+	}
+	t.Logf("p'=%.4f p=%.5f meanCwnd=%.1f sqrt(2/p)=%.1f ratio=%.2f ffTime=%v epochs=%d",
+		pp, p, meanW, want, meanW/want, eng.FFTime, eng.Epochs)
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// This file holds the bulk-insert fast paths the fast-forward engine uses:
+// an analytically advanced epoch contributes thousands of equal-valued
+// observations (e.g. "the queue delay held at 21 ms while 40k packets
+// drained"), and inserting them one Add at a time would erase much of the
+// epoch's speedup. AddN incorporates n copies of one value in O(1).
+
+// BulkAdder is implemented by collectors that can absorb n equal
+// observations in one call. Both Quantiler implementations satisfy it.
+type BulkAdder interface {
+	AddN(x float64, n int64)
+}
+
+var (
+	_ BulkAdder = (*Sample)(nil)
+	_ BulkAdder = (*LogHistogram)(nil)
+)
+
+// AddN incorporates n observations of the same value x in O(1): n copies of
+// x form a sub-stream with mean x and zero variance, so the parallel-moment
+// combination (Chan et al.) applies with m2 = 0. Exactly equivalent to
+// calling Add(x) n times, up to floating-point rounding.
+func (w *Welford) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	w.Merge(Welford{n: n, mean: x})
+}
+
+// AddN records n observations of x. The histogram stays allocation-free:
+// one bin increment, one Welford merge, one min/max update.
+func (h *LogHistogram) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if h.n == 0 || x < h.min {
+		h.min = x
+	}
+	if h.n == 0 || x > h.max {
+		h.max = x
+	}
+	h.n += n
+	h.w.AddN(x, n)
+	idx := 0
+	if x >= h.floor {
+		idx = 1 + int((math.Log(x)-h.logFloor)*h.invWidth)
+		if idx >= len(h.bins) {
+			idx = len(h.bins) - 1
+		}
+	}
+	h.bins[idx] += n
+}
+
+// AddN records n observations of x on the exact collector. Unlike the
+// histogram this appends n entries (the Sample's contract is to hold every
+// observation); non-compact fast-forward runs accept that memory cost.
+func (s *Sample) AddN(x float64, n int64) {
+	for ; n > 0; n-- {
+		s.Add(x)
+	}
+}

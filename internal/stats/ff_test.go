@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWelfordAddNMatchesLoop checks the O(1) bulk insert against n repeated
+// Adds: identical moments up to floating-point rounding.
+func TestWelfordAddNMatchesLoop(t *testing.T) {
+	var bulk, loop Welford
+	for _, step := range []struct {
+		x float64
+		n int64
+	}{{0.02, 1000}, {0.5, 1}, {0.021, 40000}, {1e-6, 3}} {
+		bulk.AddN(step.x, step.n)
+		for i := int64(0); i < step.n; i++ {
+			loop.Add(step.x)
+		}
+	}
+	if bulk.N() != loop.N() {
+		t.Fatalf("n: %d vs %d", bulk.N(), loop.N())
+	}
+	if math.Abs(bulk.Mean()-loop.Mean()) > 1e-12 {
+		t.Fatalf("mean: %g vs %g", bulk.Mean(), loop.Mean())
+	}
+	if math.Abs(bulk.Stddev()-loop.Stddev()) > 1e-9 {
+		t.Fatalf("stddev: %g vs %g", bulk.Stddev(), loop.Stddev())
+	}
+}
+
+func TestWelfordAddNZeroIsNoop(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.AddN(5, 0)
+	w.AddN(5, -3)
+	if w.N() != 1 || w.Mean() != 1 {
+		t.Fatalf("mutated: n=%d mean=%g", w.N(), w.Mean())
+	}
+}
+
+// TestLogHistogramAddNMatchesLoop checks bulk inserts land in the same bins
+// with the same moments as the equivalent Add loop, including the underflow
+// bin and values interleaved with single Adds.
+func TestLogHistogramAddNMatchesLoop(t *testing.T) {
+	bulk := NewDelayHistogram()
+	loop := NewDelayHistogram()
+	steps := []struct {
+		x float64
+		n int64
+	}{{0.020, 5000}, {1e-9, 10}, {0.5, 200}, {2e-6, 1}}
+	for _, st := range steps {
+		bulk.AddN(st.x, st.n)
+		for i := int64(0); i < st.n; i++ {
+			loop.Add(st.x)
+		}
+		bulk.Add(0.033)
+		loop.Add(0.033)
+	}
+	if bulk.N() != loop.N() {
+		t.Fatalf("n: %d vs %d", bulk.N(), loop.N())
+	}
+	if bulk.Min() != loop.Min() || bulk.Max() != loop.Max() {
+		t.Fatalf("extremes: [%g,%g] vs [%g,%g]", bulk.Min(), bulk.Max(), loop.Min(), loop.Max())
+	}
+	if math.Abs(bulk.Mean()-loop.Mean()) > 1e-12 {
+		t.Fatalf("mean: %g vs %g", bulk.Mean(), loop.Mean())
+	}
+	for _, q := range []float64{1, 25, 50, 90, 99, 99.9} {
+		if b, l := bulk.Percentile(q), loop.Percentile(q); b != l {
+			t.Fatalf("p%g: %g vs %g", q, b, l)
+		}
+	}
+}
+
+// TestSampleAddN checks the exact collector's bulk insert appends the right
+// count with exact moments.
+func TestSampleAddN(t *testing.T) {
+	var s Sample
+	s.AddN(0.25, 4)
+	s.Add(0.75)
+	if s.N() != 5 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-0.35) > 1e-12 {
+		t.Fatalf("mean = %g", got)
+	}
+	if got := s.Percentile(50); got != 0.25 {
+		t.Fatalf("median = %g", got)
+	}
+}

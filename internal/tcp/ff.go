@@ -1,0 +1,299 @@
+package tcp
+
+import (
+	"time"
+
+	"pi2/internal/packet"
+)
+
+// Fast-forward support: during a quiescent epoch the ff engine advances each
+// bulk flow analytically — congestion-avoidance window growth in per-window
+// steps using the congestion control's own update rules, marks and drops
+// applied through the same reaction paths packet mode uses — while the
+// packet world (sequence numbers, in-flight segments, timers) stays frozen
+// and is translated in time when the epoch commits.
+//
+// Two modeling deviations are deliberate and documented in DESIGN.md:
+//
+//   - Frozen recovery: a flow in fast recovery — including the receiver's
+//     out-of-order buffer for the hole the loss left — is tolerated. Loss
+//     recovery is pure sequence-space state, and sequence space is frozen
+//     during an epoch: the retransmission in flight and the RTO timer shift
+//     with the event heap and resolve when packet mode resumes. During the
+//     epoch the flow grows as congestion avoidance from its current window
+//     and absorbs further signals, exactly as packet mode ignores signals
+//     in recovery. At the heavy cells' operating point a strict no-recovery
+//     predicate would never admit an epoch: with thousands of flows, some
+//     flow is always a round trip away from a loss.
+//
+//   - Slow start is stepped by the congestion controls' own OnAck rules
+//     (which implement slow start with ABC and the exact threshold finish),
+//     and ffSampleRTT mirrors the endpoint's HyStart delay-exit, so a flow
+//     rejoining after an RTO accelerates through the epoch much as it would
+//     packet by packet.
+
+// ffSupportedCC reports whether the congestion control has an analytic
+// stepping rule below.
+func ffSupportedCC(cc CongestionControl) bool {
+	switch cc.(type) {
+	case Reno, *Cubic, *DCTCP, Scalable, *Prague:
+		return true
+	}
+	return false
+}
+
+// FFEligible reports whether this flow can be analytically advanced right
+// now: a started, unbounded bulk flow with no SACK scoreboard and a
+// congestion control the analytic stepper supports. Fast recovery (with its
+// frozen out-of-order receiver state) and slow start are both tolerated —
+// see the package comment above.
+func (e *Endpoint) FFEligible() bool {
+	return e.started && !e.stopped && !e.completed &&
+		e.cfg.FlowSegs == 0 && e.sack == nil &&
+		ffSupportedCC(e.cc)
+}
+
+// DataECN returns the ECN codepoint this flow's data segments carry — the
+// ff engine feeds it to the AQM's FFDecide exactly as Enqueue would see it.
+func (e *Endpoint) DataECN() packet.ECN { return e.ecnCodepoint() }
+
+// BaseRTT returns the flow's two-way propagation delay.
+func (e *Endpoint) BaseRTT() time.Duration { return e.cfg.BaseRTT }
+
+// FFCwnd returns the congestion window in segments — the ff engine's
+// per-flow sending rate is Cwnd/RTT, the congestion-avoidance fluid model.
+func (e *Endpoint) FFCwnd() float64 { return e.state.Cwnd }
+
+// FFShift translates the endpoint's absolute-time state by delta after the
+// simulator clock jumped over an epoch: per-segment send timestamps (so
+// post-epoch RTT samples are not inflated by the jump) and a pending pacing
+// credit. Scheduled timers (RTO, delayed-ACK, pacing) shift with the
+// simulator's event heap; counters and rate-meter epochs deliberately do
+// not (the epoch's virtual progress is patched in via FFApplyStats).
+func (e *Endpoint) FFShift(delta time.Duration) {
+	if delta <= 0 {
+		return
+	}
+	oldNow := e.sim.Now() - delta
+	for seq, m := range e.meta {
+		m.sentAt += delta
+		e.meta[seq] = m
+	}
+	if e.nextSend > oldNow {
+		e.nextSend += delta
+	}
+}
+
+// ffSampleRTT applies the RFC 6298 smoothing — and the HyStart delay-exit,
+// mirroring sampleRTT — for one virtual round trip.
+func (e *Endpoint) ffSampleRTT(rtt time.Duration) {
+	s := &e.state
+	if s.MinRTT == 0 || rtt < s.MinRTT {
+		s.MinRTT = rtt
+	}
+	if e.hystart && s.InSlowStart() && s.Cwnd >= 16 {
+		thresh := s.MinRTT + maxDur(4*time.Millisecond, s.MinRTT/8)
+		if rtt > thresh {
+			s.Ssthresh = s.Cwnd
+		}
+	}
+	if s.SRTT == 0 {
+		s.SRTT = rtt
+		s.RTTVar = rtt / 2
+		return
+	}
+	diff := s.SRTT - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.RTTVar = (3*s.RTTVar + diff) / 4
+	s.SRTT = (7*s.SRTT + rtt) / 8
+}
+
+// ffChunk returns the next analytic stepping chunk: a quarter window, so
+// the Euler step Cwnd += chunk/Cwnd stays within fractions of a percent of
+// the per-ACK iteration it replaces (a full-window step overshoots ~1% per
+// window on the Reno curve).
+func (e *Endpoint) ffChunk(rem int) int {
+	chunk := int(e.state.Cwnd / 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > rem {
+		chunk = rem
+	}
+	return chunk
+}
+
+// ffWindowTick tracks virtual round-trip boundaries across sub-window
+// chunks: it accumulates acknowledged segments and, once a full window has
+// been covered, advances the virtual clock one RTT and applies one smoothed
+// RTT sample — the packet-mode cadence.
+type ffWindowTick struct {
+	acks float64
+	now  time.Duration
+}
+
+func (w *ffWindowTick) add(e *Endpoint, chunk int, rtt time.Duration) {
+	w.acks += float64(chunk)
+	win := e.state.Cwnd
+	if win < 1 {
+		win = 1
+	}
+	if w.acks >= win {
+		w.acks = 0
+		w.now += rtt
+		e.ffSampleRTT(rtt)
+	}
+}
+
+// FFAdvance analytically applies acked cumulative virtual acknowledgments
+// (of which marked were CE-marked) at round-trip time rtt, starting at
+// virtual time now. Growth proceeds in window-sized chunks — one chunk per
+// virtual RTT — through the congestion control's real update rules, so the
+// trajectory matches packet mode's per-ACK iteration to within chunking
+// error. Classic controls ignore marked here: their once-per-RTT reaction
+// goes through FFSignal, mirroring the ECE/loss paths.
+func (e *Endpoint) FFAdvance(acked, marked int, rtt, now time.Duration) {
+	if acked <= 0 {
+		return
+	}
+	s := &e.state
+	tick := ffWindowTick{now: now}
+	switch cc := e.cc.(type) {
+	case Reno, *Cubic:
+		for rem := acked; rem > 0; {
+			chunk := e.ffChunk(rem)
+			e.cc.OnAck(s, chunk, false, tick.now)
+			tick.add(e, chunk, rtt)
+			rem -= chunk
+		}
+	case *DCTCP:
+		e.ffAlphaAdvance(acked, marked, rtt, &tick,
+			&cc.ackedSegs, &cc.markedSegs, &cc.alpha, cc.G,
+			func(chunk int) { renoIncrease(s, chunk) })
+	case *Prague:
+		e.ffAlphaAdvance(acked, marked, rtt, &tick,
+			&cc.ackedSegs, &cc.markedSegs, &cc.alpha, cc.G,
+			func(chunk int) { cc.increase(s, chunk) })
+	case Scalable:
+		// Equation (22): half a segment per CE mark, immediately; only
+		// unmarked ACKs feed the Reno-like increase.
+		if marked > 0 {
+			s.Cwnd -= 0.5 * float64(marked)
+			s.clampCwnd()
+			if s.Ssthresh > s.Cwnd {
+				s.Ssthresh = s.Cwnd
+			}
+		}
+		for rem := acked - marked; rem > 0; {
+			chunk := e.ffChunk(rem)
+			renoIncrease(s, chunk)
+			tick.add(e, chunk, rtt)
+			rem -= chunk
+		}
+	}
+}
+
+// ffAlphaAdvance advances a DCTCP-cadence control (DCTCP, Prague): marks
+// accumulate into the control's own observation-window counters, and a
+// window closes — EWMA update, at most one α/2 reduction — each time a full
+// congestion window of segments has been covered, which is what one round
+// trip of sequence space amounts to. The counters are the control's real
+// fields, so a partially filled window survives entry and exit and the
+// packet-mode cadence resumes seamlessly.
+func (e *Endpoint) ffAlphaAdvance(acked, marked int, rtt time.Duration,
+	tick *ffWindowTick, accAcked, accMarked *int, alpha *float64, g float64,
+	grow func(chunk int)) {
+	s := &e.state
+	rem, remM := acked, marked
+	for rem > 0 {
+		chunk := e.ffChunk(rem)
+		mw := 0
+		if remM > 0 {
+			// Spread the marks proportionally over the remaining chunks.
+			mw = (remM*chunk + rem - 1) / rem
+			if mw > remM {
+				mw = remM
+			}
+		}
+		*accAcked += chunk
+		*accMarked += mw
+		if *accAcked >= int(s.Cwnd) {
+			f := float64(*accMarked) / float64(*accAcked)
+			*alpha = (1-g)**alpha + g*f
+			if *accMarked > 0 {
+				s.Cwnd *= 1 - *alpha/2
+				s.clampCwnd()
+				s.Ssthresh = s.Cwnd
+			}
+			*accAcked, *accMarked = 0, 0
+		}
+		grow(chunk)
+		tick.add(e, chunk, rtt)
+		rem -= chunk
+		remM -= mw
+	}
+}
+
+// FFSignal applies one classic congestion reaction (virtual drop, or CE on a
+// classic-ECN flow) at virtual time now, mirroring the packet-mode ECE path:
+// at most once per RTT — the ff engine gates calls in time, and the
+// sequence-space gate (cwrEnd) is re-armed so the once-per-RTT rule holds
+// across the epoch boundary too. A flow in frozen recovery absorbs the
+// signal, exactly as packet mode ignores further signals during recovery.
+// It reports whether a reduction was applied.
+func (e *Endpoint) FFSignal(now time.Duration) bool {
+	if e.state.InRecovery {
+		return false
+	}
+	e.cc.OnCongestionEvent(&e.state, now)
+	e.congestionEvents++
+	e.cwrEnd = e.sndNxt
+	if e.cfg.ECN == ECNClassic {
+		e.cwrPend = true
+	}
+	return true
+}
+
+// FFInRecovery exposes the fast-recovery flag to the ff engine, which
+// schedules the virtual recovery exit below.
+func (e *Endpoint) FFInRecovery() bool { return e.state.InRecovery }
+
+// FFExitRecovery mirrors the packet-mode full-ACK recovery exit
+// (endpoint.onAck): recovery really lasts about one round trip — the
+// retransmission's flight time — so a flow frozen in recovery leaves it one
+// virtual RTT into the epoch instead of staying deaf to congestion signals
+// for the whole epoch. The dupack counter is deliberately left above the
+// fast-retransmit threshold: stale duplicate ACKs from the frozen flight
+// must not re-trigger recovery when packet mode resumes (the counter only
+// fires on exactly its third increment, and any cumulative advance resets
+// it for genuinely new losses).
+func (e *Endpoint) FFExitRecovery() {
+	e.state.InRecovery = false
+	e.inflation = 0
+}
+
+// FFApplyStats patches the epoch's virtual progress into the flow's
+// observable statistics: goodput bytes, bulk RTT samples (one per virtual
+// ACK, honouring stretch ACKs), and the ECN ledgers the conformance tests
+// reconcile (marksSeen at the virtual receiver; ceAcked for accurate-ECN
+// feedback on Scalable flows).
+func (e *Endpoint) FFApplyStats(acked, marked int, rtt time.Duration) {
+	if acked <= 0 {
+		return
+	}
+	e.Goodput.Add(acked * packet.MSS)
+	samples := acked / e.cfg.AckEvery
+	if samples < 1 {
+		samples = 1
+	}
+	e.RTTSamples.AddN(rtt.Seconds(), int64(samples))
+	switch e.cfg.ECN {
+	case ECNScalable:
+		e.marksSeen += marked
+		e.ceAcked += marked
+	case ECNClassic:
+		e.marksSeen += marked
+	}
+}

@@ -1,0 +1,363 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pi2/internal/packet"
+	"pi2/internal/sim"
+)
+
+func ffTestEndpoint(t *testing.T, cc CongestionControl, mode ECNMode) *Endpoint {
+	t.Helper()
+	s := sim.New(1)
+	e := NewWithEnqueuer(s, func(p *packet.Packet) { s.PacketPool().Release(p) }, Config{
+		ID:      1,
+		CC:      cc,
+		ECN:     mode,
+		BaseRTT: 10 * time.Millisecond,
+	})
+	// Place the flow in steady congestion avoidance.
+	e.started = true
+	e.state.Cwnd = 10
+	e.state.Ssthresh = 5
+	e.state.SRTT = 12 * time.Millisecond
+	e.state.RTTVar = time.Millisecond
+	e.state.MinRTT = 10 * time.Millisecond
+	return e
+}
+
+// TestFFAdvanceRenoMatchesClosedForm: continuous Reno CA obeys dW/dn = 1/W,
+// so W(n) = sqrt(W0² + 2n). The chunked FFAdvance must track both that
+// closed form and the per-ACK packet-mode iteration to sub-percent error.
+func TestFFAdvanceRenoMatchesClosedForm(t *testing.T) {
+	const n = 500
+	e := ffTestEndpoint(t, Reno{}, ECNOff)
+	w0 := e.state.Cwnd
+	e.FFAdvance(n, 0, 10*time.Millisecond, 0)
+
+	closed := math.Sqrt(w0*w0 + 2*n)
+	if rel := math.Abs(e.state.Cwnd-closed) / closed; rel > 0.01 {
+		t.Fatalf("cwnd %.4f vs closed form %.4f (rel %.4f)", e.state.Cwnd, closed, rel)
+	}
+
+	ref := State{Cwnd: w0, Ssthresh: 5, MinCwnd: 2}
+	for i := 0; i < n; i++ {
+		Reno{}.OnAck(&ref, 1, false, 0)
+	}
+	if rel := math.Abs(e.state.Cwnd-ref.Cwnd) / ref.Cwnd; rel > 0.01 {
+		t.Fatalf("cwnd %.4f vs per-ack %.4f (rel %.4f)", e.state.Cwnd, ref.Cwnd, rel)
+	}
+}
+
+// TestFFAdvanceCubicMatchesPerAck: the chunked advance through Cubic's real
+// OnAck must track a per-ACK reference driven at the same virtual times,
+// including the concave approach to wMax and the friendly region.
+func TestFFAdvanceCubicMatchesPerAck(t *testing.T) {
+	mk := func() (*Endpoint, *Cubic) {
+		cc := &Cubic{}
+		e := ffTestEndpoint(t, cc, ECNOff)
+		// A realistic post-reduction epoch: wMax above the current window.
+		cc.Init(&e.state)
+		e.state.Cwnd = 10
+		e.state.Ssthresh = 5
+		cc.wMax = 14
+		cc.wLastMax = 14
+		cc.k = math.Cbrt((cc.wMax - e.state.Cwnd) / cc.C)
+		cc.epochStart = 0
+		cc.wEst = e.state.Cwnd
+		cc.hasEpoch = true
+		return e, cc
+	}
+	rtt := 10 * time.Millisecond
+
+	eFF, _ := mk()
+	const n = 400
+	eFF.FFAdvance(n, 0, rtt, 0)
+
+	eRef, ccRef := mk()
+	now := time.Duration(0)
+	acksInWin := 0
+	for i := 0; i < n; i++ {
+		ccRef.OnAck(&eRef.state, 1, false, now)
+		acksInWin++
+		if float64(acksInWin) >= eRef.state.Cwnd {
+			now += rtt
+			acksInWin = 0
+		}
+	}
+	if rel := math.Abs(eFF.state.Cwnd-eRef.state.Cwnd) / eRef.state.Cwnd; rel > 0.02 {
+		t.Fatalf("cwnd %.4f vs per-ack %.4f (rel %.4f)", eFF.state.Cwnd, eRef.state.Cwnd, rel)
+	}
+	if eFF.state.Cwnd <= 10 {
+		t.Fatalf("no growth: %.4f", eFF.state.Cwnd)
+	}
+}
+
+// TestFFAdvanceDCTCPAlphaRelaxation: under a constant mark probability p the
+// DCTCP EWMA must relax toward α = p and the window must oscillate around
+// the equation (11) equilibrium; the FF trajectory is compared against a
+// faithful per-ACK packet-mode emulation with bound sequence counters.
+func TestFFAdvanceDCTCPAlphaRelaxation(t *testing.T) {
+	const p = 0.10
+	rtt := 10 * time.Millisecond
+
+	// FF trajectory.
+	ccFF := &DCTCP{}
+	eFF := ffTestEndpoint(t, ccFF, ECNScalable)
+	ccFF.Init(&eFF.state)
+	eFF.state.Cwnd = 20
+	eFF.state.Ssthresh = 10
+	ccFF.alpha = 0.5
+
+	// Per-ACK reference with real sequence-space windows.
+	ccRef := &DCTCP{}
+	sRef := State{Cwnd: 20, Ssthresh: 10, MinCwnd: 2}
+	ccRef.Init(&sRef)
+	ccRef.alpha = 0.5
+	var una, nxt int64
+	ccRef.bindSeq(&una, &nxt)
+	nxt = int64(sRef.Cwnd)
+
+	// Deterministic mark pattern: every 10th segment CE.
+	const total = 4000
+	markedOf := func(i int) bool { return i%10 == 9 }
+
+	ffMarked, ffAcked := 0, 0
+	for i := 0; i < total; i++ {
+		if markedOf(i) {
+			ffMarked++
+		}
+		ffAcked++
+		// Feed FF one virtual RTT at a time (about one window of ACKs).
+		if ffAcked >= int(eFF.state.Cwnd) {
+			eFF.FFAdvance(ffAcked, ffMarked, rtt, 0)
+			ffAcked, ffMarked = 0, 0
+		}
+	}
+	if ffAcked > 0 {
+		eFF.FFAdvance(ffAcked, ffMarked, rtt, 0)
+	}
+
+	for i := 0; i < total; i++ {
+		una++
+		if nxt < una+int64(sRef.Cwnd) {
+			nxt = una + int64(sRef.Cwnd)
+		}
+		ccRef.OnAck(&sRef, 1, markedOf(i), 0)
+	}
+
+	if math.Abs(ccFF.alpha-p) > 0.05 {
+		t.Fatalf("alpha %.4f did not relax toward %.2f", ccFF.alpha, p)
+	}
+	if math.Abs(ccRef.alpha-p) > 0.05 {
+		t.Fatalf("reference alpha %.4f did not relax toward %.2f", ccRef.alpha, p)
+	}
+	// Both trajectories must orbit the same equilibrium: compare windows
+	// within the oscillation amplitude (~α/2 relative).
+	if rel := math.Abs(eFF.state.Cwnd-sRef.Cwnd) / sRef.Cwnd; rel > 0.15 {
+		t.Fatalf("cwnd %.4f vs reference %.4f (rel %.4f)", eFF.state.Cwnd, sRef.Cwnd, rel)
+	}
+}
+
+// TestFFAdvanceScalableExact: equation (22) arithmetic is exact — half a
+// segment per mark, unmarked ACKs feed renoIncrease in window chunks.
+func TestFFAdvanceScalableExact(t *testing.T) {
+	e := ffTestEndpoint(t, Scalable{}, ECNScalable)
+	e.state.Cwnd = 10
+	e.state.Ssthresh = 5
+
+	ref := State{Cwnd: 10, Ssthresh: 5, MinCwnd: 2}
+	ref.Cwnd -= 0.5 * 4
+	ref.clampCwnd()
+	if ref.Ssthresh > ref.Cwnd {
+		ref.Ssthresh = ref.Cwnd
+	}
+	for rem := 16; rem > 0; {
+		chunk := int(ref.Cwnd / 4) // mirror ffChunk's quarter-window step
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > rem {
+			chunk = rem
+		}
+		renoIncrease(&ref, chunk)
+		rem -= chunk
+	}
+
+	e.FFAdvance(20, 4, 10*time.Millisecond, 0)
+	if e.state.Cwnd != ref.Cwnd {
+		t.Fatalf("cwnd %.6f vs %.6f", e.state.Cwnd, ref.Cwnd)
+	}
+}
+
+// TestFFAdvancePragueRTTIndependence: a short-RTT Prague flow grows slower
+// than an equal DCTCP flow by the (SRTT/25ms)^1.75 damping.
+func TestFFAdvancePragueRTTIndependence(t *testing.T) {
+	grow := func(cc CongestionControl) float64 {
+		e := ffTestEndpoint(t, cc, ECNScalable)
+		if in, ok := cc.(interface{ Init(*State) }); ok {
+			in.Init(&e.state)
+		}
+		e.state.Cwnd = 20
+		e.state.Ssthresh = 10
+		e.state.SRTT = 10 * time.Millisecond
+		switch c := cc.(type) {
+		case *Prague:
+			c.alpha = 0
+		case *DCTCP:
+			c.alpha = 0
+		}
+		e.FFAdvance(200, 0, 10*time.Millisecond, 0)
+		return e.state.Cwnd - 20
+	}
+	gPrague := grow(&Prague{})
+	gDCTCP := grow(&DCTCP{})
+	// Continuous CA with damping f obeys dW/dn = f/W, so after n ACKs
+	// W = sqrt(W0² + 2·f·n): the two growth deltas have closed forms.
+	f := math.Pow(10.0/25.0, 1.75)
+	const w0, n = 20.0, 200.0
+	wantPrague := math.Sqrt(w0*w0+2*f*n) - w0
+	wantDCTCP := math.Sqrt(w0*w0+2*n) - w0
+	if math.Abs(gPrague-wantPrague) > 0.05*wantPrague {
+		t.Fatalf("prague growth %.4f, closed form %.4f", gPrague, wantPrague)
+	}
+	if math.Abs(gDCTCP-wantDCTCP) > 0.05*wantDCTCP {
+		t.Fatalf("dctcp growth %.4f, closed form %.4f", gDCTCP, wantDCTCP)
+	}
+}
+
+// TestFFSignal: one reaction per call, absorbed during (frozen) recovery,
+// sequence gate re-armed, CWR pended only for classic ECN.
+func TestFFSignal(t *testing.T) {
+	e := ffTestEndpoint(t, Reno{}, ECNClassic)
+	e.sndUna, e.sndNxt = 100, 110
+	e.state.Cwnd = 10
+
+	if !e.FFSignal(0) {
+		t.Fatal("signal not applied")
+	}
+	if e.state.Cwnd != 5 {
+		t.Fatalf("cwnd %.1f after halving", e.state.Cwnd)
+	}
+	if e.cwrEnd != 110 || !e.cwrPend {
+		t.Fatalf("gate not re-armed: cwrEnd=%d cwrPend=%v", e.cwrEnd, e.cwrPend)
+	}
+	if e.CongestionEvents() != 1 {
+		t.Fatalf("events = %d", e.CongestionEvents())
+	}
+
+	e.state.InRecovery = true
+	if e.FFSignal(0) {
+		t.Fatal("signal applied during frozen recovery")
+	}
+	if e.state.Cwnd != 5 || e.CongestionEvents() != 1 {
+		t.Fatal("recovery flow mutated")
+	}
+
+	drop := ffTestEndpoint(t, Reno{}, ECNOff)
+	drop.FFSignal(0)
+	if drop.cwrPend {
+		t.Fatal("CWR pended on a non-ECN flow")
+	}
+}
+
+func TestFFEligible(t *testing.T) {
+	e := ffTestEndpoint(t, Reno{}, ECNOff)
+	if !e.FFEligible() {
+		t.Fatal("steady CA bulk flow must be eligible")
+	}
+	e.state.InRecovery = true
+	if !e.FFEligible() {
+		t.Fatal("frozen recovery must be tolerated")
+	}
+	e.state.InRecovery = false
+
+	e.state.Ssthresh = 100 // slow start: stepped by the CC's own OnAck rules
+	if !e.FFEligible() {
+		t.Fatal("slow start must be tolerated")
+	}
+	e.state.Ssthresh = 5
+
+	e.oooSorted = append(e.oooSorted, 7) // frozen in-flight loss recovery
+	if !e.FFEligible() {
+		t.Fatal("receiver holes must be tolerated (frozen recovery)")
+	}
+	e.oooSorted = nil
+
+	e.cfg.FlowSegs = 100
+	if e.FFEligible() {
+		t.Fatal("finite flows must be ineligible")
+	}
+	e.cfg.FlowSegs = 0
+
+	e.stopped = true
+	if e.FFEligible() {
+		t.Fatal("stopped flows must be ineligible")
+	}
+}
+
+// TestFFShift: send timestamps and a pending pacing credit translate; the
+// flow-duration anchor does not.
+func TestFFShift(t *testing.T) {
+	s := sim.New(1)
+	e := NewWithEnqueuer(s, func(p *packet.Packet) { s.PacketPool().Release(p) }, Config{
+		ID: 1, CC: Reno{}, BaseRTT: 10 * time.Millisecond, Pacing: true,
+	})
+	e.started = true
+	e.startedAt = 0
+	e.meta[5] = segMeta{sentAt: 3 * time.Millisecond}
+	e.meta[6] = segMeta{sentAt: 4 * time.Millisecond, retx: true}
+	e.nextSend = 8 * time.Millisecond
+
+	s.RunUntil(5 * time.Millisecond)
+	const delta = 2 * time.Second
+	s.ShiftPending(delta)
+	e.FFShift(delta)
+
+	if got := e.meta[5].sentAt; got != delta+3*time.Millisecond {
+		t.Fatalf("sentAt = %v", got)
+	}
+	if !e.meta[6].retx || e.meta[6].sentAt != delta+4*time.Millisecond {
+		t.Fatalf("retx meta mangled: %+v", e.meta[6])
+	}
+	if e.nextSend != delta+8*time.Millisecond {
+		t.Fatalf("nextSend = %v", e.nextSend)
+	}
+	if e.startedAt != 0 {
+		t.Fatalf("startedAt moved: %v", e.startedAt)
+	}
+
+	// A pacing credit already in the past must stay in the past.
+	e2 := NewWithEnqueuer(s, func(p *packet.Packet) { s.PacketPool().Release(p) }, Config{
+		ID: 2, CC: Reno{}, BaseRTT: 10 * time.Millisecond,
+	})
+	e2.nextSend = time.Millisecond // before the (already shifted) now
+	e2.FFShift(delta)
+	if e2.nextSend != time.Millisecond {
+		t.Fatalf("past pacing credit moved: %v", e2.nextSend)
+	}
+}
+
+// TestFFApplyStats: goodput bytes, RTT sample count, and the ECN ledgers.
+func TestFFApplyStats(t *testing.T) {
+	e := ffTestEndpoint(t, Scalable{}, ECNScalable)
+	before := e.RTTSamples.N()
+	e.FFApplyStats(100, 7, 12*time.Millisecond)
+	if got := e.Goodput.Bytes(); got != int64(100*packet.MSS) {
+		t.Fatalf("goodput bytes = %d", got)
+	}
+	if e.RTTSamples.N() != before+100 {
+		t.Fatalf("rtt samples = %d", e.RTTSamples.N())
+	}
+	if e.MarksSeen() != 7 || e.CEAcked() != 7 {
+		t.Fatalf("ledgers: seen=%d acked=%d", e.MarksSeen(), e.CEAcked())
+	}
+
+	classic := ffTestEndpoint(t, Reno{}, ECNClassic)
+	classic.FFApplyStats(50, 3, 12*time.Millisecond)
+	if classic.MarksSeen() != 3 || classic.CEAcked() != 0 {
+		t.Fatalf("classic ledgers: seen=%d acked=%d", classic.MarksSeen(), classic.CEAcked())
+	}
+}
