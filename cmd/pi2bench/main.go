@@ -13,7 +13,15 @@
 // (default: GOMAXPROCS). Output is bit-identical at any -jobs value:
 // each run's seed derives from the campaign seed and the run's position
 // in its matrix, never from scheduling order. -json additionally writes
-// every run's record (params, wall time, events/sec) to a file.
+// every run's record (params, wall time, events/sec) to a file, streamed
+// as cells complete.
+//
+// -workers N dispatches grid cells across N worker processes instead of
+// in-process goroutines (see the fleet architecture in DESIGN.md): the
+// binary re-executes itself with -worker and speaks a line-delimited
+// protocol over the worker's stdin/stdout. Tables, goldens and -json
+// records stay byte-identical to any -jobs run; a killed worker's cells
+// are re-dispatched to the survivors.
 //
 // -shards N partitions each cell's simulation across N event-loop domains
 // (conservative PDES with propagation-delay lookahead; see DESIGN.md). The
@@ -50,6 +58,7 @@ import (
 
 	"pi2/internal/campaign"
 	_ "pi2/internal/experiments" // registers every experiment
+	"pi2/internal/fleet"
 	"pi2/internal/golden"
 	"pi2/internal/packet"
 )
@@ -59,6 +68,8 @@ func main() {
 	timeDiv := flag.Int("timediv", 0, "divide experiment durations by N (overrides -quick's 5x; 0 = off)")
 	seed := flag.Int64("seed", 1, "campaign base seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	workers := flag.Int("workers", 0, "dispatch grid cells across N worker processes (0 = in-process -jobs pool); output is byte-identical either way")
+	workerMode := flag.Bool("worker", false, "serve the fleet worker protocol on stdin/stdout (spawned by -workers; not for interactive use)")
 	shards := flag.Int("shards", 1, "event-loop domains per simulation (conservative PDES); 1 = classic single loop")
 	fastForward := flag.Bool("ff", false, "fast-forward quiescent congestion-avoidance epochs analytically (hybrid fluid/packet); also enables the 10k/50k heavy cells")
 	reps := flag.Int("reps", 1, "repeat heavy/sweep cells N times with perturbed seeds and print ± confidence bands")
@@ -76,7 +87,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	tagFree := flag.Bool("tagfree", false, "poison recycled packets to catch use-after-release (debug)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-shards N] [-ff] [-reps N]\n")
+		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-workers N] [-shards N] [-ff] [-reps N]\n")
 		fmt.Fprintf(os.Stderr, "                [-target ms] [-json file] [-v]\n")
 		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
@@ -92,6 +103,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  * = included in \"all\"\n")
 	}
 	flag.Parse()
+	if *workerMode {
+		if err := fleet.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tagFree {
 		packet.PoisonFreed = true
 	}
@@ -100,9 +118,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
 		os.Exit(1)
 	}
-	// Route every exit through here so profiles are flushed even when a
-	// golden check fails or an experiment errors.
+	var pool *fleet.Pool
+	var dispatch campaign.Dispatcher
+	if *workers > 0 {
+		pool = fleet.NewPool(fleet.Config{Workers: *workers})
+		dispatch = pool
+	}
+	// Route every exit through here so profiles are flushed (and workers
+	// reaped) even when a golden check fails or an experiment errors.
 	exit := func(code int) {
+		if pool != nil {
+			pool.Close()
+		}
 		stopProfiling()
 		if err := writeMemProfile(*memProfile); err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
@@ -113,7 +140,7 @@ func main() {
 		os.Exit(code)
 	}
 	if *check || *update {
-		exit(goldenMode(*check, *update, *jobs, *goldenDir, flag.Args()))
+		exit(goldenMode(*check, *update, *jobs, *goldenDir, dispatch, flag.Args()))
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -125,9 +152,20 @@ func main() {
 		Shards: *shards, FastForward: *fastForward, Reps: *reps, TargetMs: *targetMs,
 		Watchdog: campaign.Watchdog{Timeout: *cellTimeout, Stall: *cellStall},
 		Retries:  *retries,
+		Dispatch: dispatch,
 	}
+	var jsonFile *os.File
 	if *jsonPath != "" {
-		ctx.Collector = &campaign.Collector{}
+		// Stream records to disk as cells complete instead of retaining
+		// the whole campaign in memory — at fleet scale the record set is
+		// the dominant allocation.
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			exit(1)
+		}
+		jsonFile = f
+		ctx.Collector = campaign.NewStreamingCollector(f)
 	}
 	if *verbose {
 		ctx.Progress = func(done, total int, rec campaign.RunRecord) {
@@ -167,16 +205,11 @@ func main() {
 		}
 	}
 
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
-			exit(1)
-		}
-		if err := ctx.Collector.WriteJSON(f); err == nil {
-			err = f.Close()
+	if jsonFile != nil {
+		if err := ctx.Collector.Close(); err == nil {
+			err = jsonFile.Close()
 		} else {
-			f.Close()
+			jsonFile.Close()
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: writing %s: %v\n", *jsonPath, err)
@@ -255,7 +288,7 @@ func writeMemProfile(path string) error {
 // (default: the "all" expansion, which already covers every simulation grid
 // — fig15–fig18 and fig19–fig20 are views of "sweep" and "combos"). It
 // returns the process exit code.
-func goldenMode(check, update bool, jobs int, dir string, args []string) int {
+func goldenMode(check, update bool, jobs int, dir string, dispatch campaign.Dispatcher, args []string) int {
 	if check && update {
 		fmt.Fprintln(os.Stderr, "pi2bench: -check and -update-golden are mutually exclusive")
 		return 2
@@ -275,7 +308,7 @@ func goldenMode(check, update bool, jobs int, dir string, args []string) int {
 			dir = golden.DefaultDir
 		}
 		for _, name := range names {
-			fp, err := golden.Capture(name, jobs)
+			fp, err := golden.Capture(name, jobs, dispatch)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
 				return 1
@@ -290,7 +323,7 @@ func goldenMode(check, update bool, jobs int, dir string, args []string) int {
 	}
 	failed := 0
 	for _, name := range names {
-		mismatches, err := golden.Check(name, jobs, dir)
+		mismatches, err := golden.Check(name, jobs, dir, dispatch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
 			return 1

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Collector accumulates every RunRecord produced across a CLI invocation in
+// deterministic matrix order, regardless of the (parallelism-dependent)
+// order cells complete in. Execute calls begin(n) at the start of each
+// matrix and add once per record; records buffer only until their turn in
+// (segment, index) order comes up, then flush — either into the retained
+// slice (zero-value Collector, for golden capture and tests) or straight to
+// a streaming sink (NewStreamingCollector, for -json), which retains
+// nothing. The streaming mode is what keeps a fleet coordinator's heap
+// proportional to the out-of-order window (bounded by worker count), not
+// the grid.
+type Collector struct {
+	mu      sync.Mutex
+	recs    []RunRecord           // flushed records (retained mode only)
+	w       io.Writer             // streaming sink; nil = retained mode
+	werr    error                 // first sink write error
+	wrote   int                   // records written to w so far
+	pending map[int]RunRecord     // out-of-order buffer, keyed by in-segment index
+	next    int                   // next in-segment index to flush
+	size    int                   // current segment's cell count
+}
+
+// NewStreamingCollector returns a Collector that writes each record to w as
+// one element of an indented JSON array, in matrix order, retaining nothing.
+// Close terminates the array.
+func NewStreamingCollector(w io.Writer) *Collector {
+	return &Collector{w: w}
+}
+
+// begin opens a new segment of n cells. Execute waits for every cell before
+// returning, so the previous segment is always fully flushed by the time
+// the next experiment's matrix starts; any leftovers (a dispatcher bug)
+// flush in index order rather than being dropped.
+func (c *Collector) begin(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) > 0 {
+		c.flushLocked()
+		if _, ok := c.pending[c.next]; !ok && len(c.pending) > 0 {
+			c.next++ // skip holes so stragglers still drain deterministically
+		}
+	}
+	c.next = 0
+	c.size = n
+}
+
+func (c *Collector) add(r RunRecord) {
+	c.mu.Lock()
+	if c.pending == nil {
+		c.pending = make(map[int]RunRecord)
+	}
+	c.pending[r.Index] = r
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+// flushLocked drains the pending buffer in index order as far as it goes.
+func (c *Collector) flushLocked() {
+	for {
+		rec, ok := c.pending[c.next]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.next)
+		c.next++
+		if c.w == nil {
+			c.recs = append(c.recs, rec)
+			continue
+		}
+		if c.werr != nil {
+			continue
+		}
+		b, err := json.MarshalIndent(rec, "  ", "  ")
+		if err == nil {
+			head := ",\n  "
+			if c.wrote == 0 {
+				head = "[\n  "
+			}
+			_, err = io.WriteString(c.w, head+string(b))
+		}
+		if err != nil {
+			c.werr = err
+			continue
+		}
+		c.wrote++
+	}
+}
+
+// Records returns a copy of everything collected so far, in matrix order.
+// A streaming collector retains nothing and returns nil.
+func (c *Collector) Records() []RunRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RunRecord(nil), c.recs...)
+}
+
+// Pending reports how many records are buffered waiting for earlier matrix
+// indices — the streaming mode's peak retention (tests assert it stays
+// bounded by the in-flight window).
+func (c *Collector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close terminates a streaming collector's JSON array and reports the first
+// sink write error. On a retained collector it is a no-op.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w == nil {
+		return nil
+	}
+	var err error
+	if c.wrote == 0 {
+		_, err = io.WriteString(c.w, "[]\n")
+	} else {
+		_, err = io.WriteString(c.w, "\n]\n")
+	}
+	if c.werr == nil {
+		c.werr = err
+	}
+	return c.werr
+}
+
+// WriteJSON serializes the retained records as an indented JSON array (the
+// pre-streaming -json format; golden capture and tests still use it).
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Records())
+}

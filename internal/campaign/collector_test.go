@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func collectorRec(i int) RunRecord {
+	return RunRecord{Name: "cell", Index: i, Seed: int64(i)}
+}
+
+// TestCollectorOrdersConcurrentArrivals hammers the collector from many
+// goroutines delivering a shuffled index permutation — the fleet's actual
+// arrival pattern — and requires the retained records to come out in
+// exact matrix order. Run under -race this is also the safety proof.
+func TestCollectorOrdersConcurrentArrivals(t *testing.T) {
+	const n, writers = 500, 8
+	col := &Collector{}
+	col.begin(n)
+	idx := rand.New(rand.NewSource(1)).Perm(n)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := w; j < n; j += writers {
+				col.add(collectorRec(idx[j]))
+			}
+		}()
+	}
+	wg.Wait()
+	recs := col.Records()
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d; collector broke matrix order", i, rec.Index)
+		}
+	}
+	if p := col.Pending(); p != 0 {
+		t.Errorf("%d records still pending after full delivery", p)
+	}
+}
+
+// TestStreamingCollectorBoundedRetention feeds a streaming collector
+// arrivals whose out-of-order distance is bounded by the in-flight window
+// — the pattern W workers completing similar-duration cells produce — and
+// asserts peak buffering never exceeds that window: the coordinator's
+// heap is O(workers), not O(cells), while the sink still receives every
+// record in matrix order.
+func TestStreamingCollectorBoundedRetention(t *testing.T) {
+	const n, window = 400, 4
+	var buf bytes.Buffer
+	col := NewStreamingCollector(&buf)
+	col.begin(n)
+
+	rng := rand.New(rand.NewSource(2))
+	peak := 0
+	for block := 0; block < n; block += window {
+		order := rng.Perm(window)
+		for _, k := range order {
+			col.add(collectorRec(block + k))
+			if p := col.Pending(); p > peak {
+				peak = p
+			}
+		}
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > window {
+		t.Errorf("peak retention %d records exceeds the %d-worker window", peak, window)
+	}
+	if col.Records() != nil {
+		t.Error("streaming collector retained records")
+	}
+	var got []RunRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("sink output is not a JSON array: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("sink got %d records, want %d", len(got), n)
+	}
+	for i, rec := range got {
+		if rec.Index != i {
+			t.Fatalf("sink record %d has index %d", i, rec.Index)
+		}
+	}
+}
+
+// TestStreamingCollectorThroughExecute exercises the real pipeline: a
+// parallel Execute writing through a streaming collector must emit a
+// valid JSON array in matrix order across consecutive segments.
+func TestStreamingCollectorThroughExecute(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewStreamingCollector(&buf)
+	mkTasks := func(n int) []Task {
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{
+				Name: "seg", SeedIndex: i,
+				Run: func(tc *TaskCtx) any { return fmt.Sprintf("v%d", i) },
+			}
+		}
+		return tasks
+	}
+	Execute(mkTasks(40), ExecOptions{Jobs: 8, BaseSeed: 1, Collector: col})
+	Execute(mkTasks(15), ExecOptions{Jobs: 8, BaseSeed: 1, Collector: col})
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []RunRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("sink output is not a JSON array: %v", err)
+	}
+	if len(got) != 55 {
+		t.Fatalf("sink got %d records, want 55", len(got))
+	}
+	for i, rec := range got {
+		want := i
+		if i >= 40 {
+			want = i - 40
+		}
+		if rec.Index != want {
+			t.Fatalf("record %d has index %d, want %d", i, rec.Index, want)
+		}
+	}
+}

@@ -12,9 +12,7 @@
 package campaign
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -228,6 +226,30 @@ type ExecOptions struct {
 	Retries int
 	// RetryBackoff is the wait before retry k (doubling each retry).
 	RetryBackoff time.Duration
+	// Family names the registered task source (RegisterSource) that can
+	// rebuild this matrix from Spec in another process. Empty means the
+	// matrix only exists as closures here, and dispatch stays in-process
+	// even when a Dispatcher is configured.
+	Family string
+	// Spec is the serialized grid description handed to the Family's task
+	// source; a worker process rebuilds the identical []Task from it.
+	Spec []byte
+	// Dispatch, when non-nil (and Family is set), routes cells to a fleet
+	// of worker processes instead of the in-process pool. Records still
+	// arrive through the same collector/progress/sink funnel.
+	Dispatch Dispatcher
+}
+
+// Dispatcher executes a task matrix somewhere other than the in-process
+// pool — typically a fleet of worker processes (internal/fleet). emit must
+// be invoked exactly once per cell; calls may come from any goroutine and
+// in any order (Execute serializes them). tasks carries the in-process
+// closures so a dispatcher can degrade to local execution when every
+// worker is gone. A returned error is a configuration or protocol bug
+// (unknown family, matrix-size disagreement), not a cell failure — cell
+// failures travel inside RunRecords.
+type Dispatcher interface {
+	Dispatch(tasks []Task, opt ExecOptions, emit func(RunRecord)) error
 }
 
 // PerturbSeed maps an attempt's base seed to a retry seed: a SplitMix64
@@ -271,14 +293,59 @@ func DeriveSeed(base int64, index int) int64 {
 	return s
 }
 
-// Execute fans the tasks across a bounded worker pool and returns one
-// RunRecord per task, in task order. It never shares RNG state between
-// tasks: each task derives its own seed and builds its own simulator.
+// Execute fans the tasks across a bounded worker pool (or a fleet
+// dispatcher, when configured) and returns one RunRecord per task, in task
+// order. It never shares RNG state between tasks: each task derives its own
+// seed and builds its own simulator.
 func Execute(tasks []Task, opt ExecOptions) []RunRecord {
 	recs := make([]RunRecord, len(tasks))
+	ExecuteStream(tasks, opt, func(rec RunRecord) {
+		recs[rec.Index] = rec
+	})
+	return recs
+}
+
+// ExecuteStream is Execute without the grid-sized result slice: sink
+// observes each RunRecord exactly once, in completion order, serialized
+// with the collector and progress callbacks. Drivers that fold records
+// into aggregates as they arrive (heavy, sweep) use it to keep peak memory
+// proportional to the in-flight window instead of the matrix.
+func ExecuteStream(tasks []Task, opt ExecOptions, sink func(RunRecord)) {
 	if len(tasks) == 0 {
-		return recs
+		return
 	}
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	if opt.Collector != nil {
+		opt.Collector.begin(len(tasks))
+	}
+	emit := func(rec RunRecord) {
+		mu.Lock()
+		done++
+		if opt.Collector != nil {
+			opt.Collector.add(rec)
+		}
+		if opt.Progress != nil {
+			opt.Progress(done, len(tasks), rec)
+		}
+		if sink != nil {
+			sink(rec)
+		}
+		mu.Unlock()
+	}
+
+	if opt.Dispatch != nil && opt.Family != "" {
+		if err := opt.Dispatch.Dispatch(tasks, opt, emit); err != nil {
+			// Dispatcher errors are configuration/protocol bugs (the
+			// dispatcher already degrades through crashed workers on its
+			// own); surface them loudly rather than silently re-running.
+			panic(fmt.Sprintf("campaign: fleet dispatch of %q failed: %v", opt.Family, err))
+		}
+		return
+	}
+
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -286,29 +353,14 @@ func Execute(tasks []Task, opt ExecOptions) []RunRecord {
 	if jobs > len(tasks) {
 		jobs = len(tasks)
 	}
-
-	var (
-		mu   sync.Mutex
-		done int
-		wg   sync.WaitGroup
-	)
+	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rec := runTask(tasks[i], i, opt)
-				recs[i] = rec
-				mu.Lock()
-				done++
-				if opt.Collector != nil {
-					opt.Collector.add(rec)
-				}
-				if opt.Progress != nil {
-					opt.Progress(done, len(tasks), rec)
-				}
-				mu.Unlock()
+				emit(runTask(tasks[i], i, opt))
 			}
 		}()
 	}
@@ -317,7 +369,14 @@ func Execute(tasks []Task, opt ExecOptions) []RunRecord {
 	}
 	close(idx)
 	wg.Wait()
-	return recs
+}
+
+// RunOne executes a single cell of a matrix exactly as the in-process pool
+// would: same seed derivation, retry/perturbation rules and watchdog
+// machinery. Fleet workers call it per dispatched index, which is what
+// makes fleet records bit-identical to in-process ones.
+func RunOne(t Task, index int, opt ExecOptions) RunRecord {
+	return runTask(t, index, opt)
 }
 
 // runTask executes one cell through the bounded retry loop: each failed
@@ -444,31 +503,4 @@ func execAttempt(t Task, index int, seed int64, attempt int, tc *TaskCtx) (rec R
 	}()
 	rec.Result = t.Run(tc)
 	return rec
-}
-
-// Collector accumulates every RunRecord produced across a CLI invocation so
-// a -json flag can dump the whole campaign at exit.
-type Collector struct {
-	mu   sync.Mutex
-	recs []RunRecord
-}
-
-func (c *Collector) add(r RunRecord) {
-	c.mu.Lock()
-	c.recs = append(c.recs, r)
-	c.mu.Unlock()
-}
-
-// Records returns a copy of everything collected so far.
-func (c *Collector) Records() []RunRecord {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]RunRecord(nil), c.recs...)
-}
-
-// WriteJSON serializes the collected records as an indented JSON array.
-func (c *Collector) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(c.Records())
 }

@@ -107,6 +107,9 @@ type Context struct {
 	// the doubling wait between attempts.
 	Retries      int
 	RetryBackoff time.Duration
+	// Dispatch, if set, routes every family with a registered task source
+	// through a fleet of worker processes (the CLI's -workers flag).
+	Dispatch Dispatcher
 
 	mu   sync.Mutex
 	memo map[string]any

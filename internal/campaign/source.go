@@ -1,0 +1,38 @@
+package campaign
+
+import "sync"
+
+// TaskSource rebuilds a task matrix from its serialized grid description.
+// Closures cannot cross a process boundary, so the fleet protocol ships
+// (family, spec) instead: the worker — the same binary — looks the family
+// up here and reconstructs the identical []Task, closures included. The
+// builder must be a pure function of spec: same bytes, same matrix, same
+// order, or cell indices would name different work in different processes.
+type TaskSource func(spec []byte) ([]Task, error)
+
+var (
+	srcMu  sync.RWMutex
+	srcReg = map[string]TaskSource{}
+)
+
+// RegisterSource adds a task source under a family name. Like Register, it
+// panics on duplicates — a programming error caught at init.
+func RegisterSource(family string, src TaskSource) {
+	if family == "" || src == nil {
+		panic("campaign: RegisterSource requires a family and a source func")
+	}
+	srcMu.Lock()
+	defer srcMu.Unlock()
+	if _, dup := srcReg[family]; dup {
+		panic("campaign: duplicate task source " + family)
+	}
+	srcReg[family] = src
+}
+
+// LookupSource resolves a task source by family name.
+func LookupSource(family string) (TaskSource, bool) {
+	srcMu.RLock()
+	defer srcMu.RUnlock()
+	s, ok := srcReg[family]
+	return s, ok
+}

@@ -15,10 +15,10 @@ func TestAggregateHeavyBands(t *testing.T) {
 	mk := func(jain, qmeanSec float64, rates ...float64) HeavyPoint {
 		p := HeavyPoint{Flows: 10, AQM: "pi2", Jain: jain, Util: 1,
 			QMeanMs: qmeanSec * 1e3, QP99Ms: qmeanSec * 1e3, Events: 100}
-		p.soj = stats.NewDelayHistogram()
-		p.soj.Add(qmeanSec)
+		p.Soj = stats.NewDelayHistogram()
+		p.Soj.Add(qmeanSec)
 		for _, r := range rates {
-			p.rateW.Add(r)
+			p.RateW.Add(r)
 		}
 		return p
 	}
@@ -37,11 +37,11 @@ func TestAggregateHeavyBands(t *testing.T) {
 	if agg.JainHW <= 0 {
 		t.Error("JainHW not positive for spread reps")
 	}
-	if agg.soj.N() != 3 {
-		t.Errorf("pooled sojourn holds %d samples, want 3", agg.soj.N())
+	if agg.Soj.N() != 3 {
+		t.Errorf("pooled sojourn holds %d samples, want 3", agg.Soj.N())
 	}
-	if agg.rateW.N() != 6 {
-		t.Errorf("merged rate accumulator holds %d flows, want 6", agg.rateW.N())
+	if agg.RateW.N() != 6 {
+		t.Errorf("merged rate accumulator holds %d flows, want 6", agg.RateW.N())
 	}
 	if agg.RateCoV <= 0 {
 		t.Error("RateCoV not positive for uneven rates")
@@ -68,7 +68,7 @@ func TestSweepRepsBands(t *testing.T) {
 		if p.Reps != 2 {
 			t.Fatalf("point %s/%s Reps = %d, want 2", p.Pair, p.AQM, p.Reps)
 		}
-		if p.soj == nil || p.soj.N() == 0 {
+		if p.Soj == nil || p.Soj.N() == 0 {
 			t.Fatalf("point %s/%s has no pooled sojourn sample", p.Pair, p.AQM)
 		}
 		if p.RatioHW < 0 || p.QMeanHW < 0 {
@@ -110,7 +110,7 @@ func TestHeavyRepsBands(t *testing.T) {
 		if p.Reps != 2 {
 			t.Fatalf("%s/%d Reps = %d, want 2", p.AQM, p.Flows, p.Reps)
 		}
-		if p.soj == nil || p.soj.N() == 0 {
+		if p.Soj == nil || p.Soj.N() == 0 {
 			t.Fatalf("%s/%d has no pooled sojourn histogram", p.AQM, p.Flows)
 		}
 	}

@@ -109,6 +109,38 @@ func (p ChaosPoint) Metrics() map[string]float64 {
 // returned points still cover the cells that completed; failed cells appear
 // with Failed-style zero metrics in the table via PrintChaos.
 func Chaos(o Options) ([]ChaosPoint, []string, error) {
+	tasks := chaosTasks(o)
+	out := make([]ChaosPoint, len(tasks))
+	bad := make([]bool, len(tasks))
+	// Records stream and fold by index as they arrive; the failure list is
+	// assembled in matrix order afterwards so tables and errors stay
+	// deterministic under any completion order.
+	campaign.ExecuteStream(tasks, o.execFor("chaos", gridSpec{}), func(rec campaign.RunRecord) {
+		scn, _ := rec.Params["scenario"].(string)
+		aqmName, _ := rec.Params["aqm"].(string)
+		p, ok := rec.Result.(ChaosPoint)
+		if rec.Err != "" || !ok {
+			bad[rec.Index] = true
+			out[rec.Index] = ChaosPoint{Scenario: scn, AQM: aqmName}
+			return
+		}
+		out[rec.Index] = p
+	})
+	var failed []string
+	for i, b := range bad {
+		if b {
+			failed = append(failed, fmt.Sprintf("%s/%s", out[i].Scenario, out[i].AQM))
+		}
+	}
+	if len(failed) > 0 {
+		return out, failed, errors.New("chaos cells failed: " + fmt.Sprint(failed))
+	}
+	return out, nil, nil
+}
+
+// chaosTasks builds the scenario × AQM matrix; AQM arms of one scenario
+// share a seed index so they face identical traffic and fault randomness.
+func chaosTasks(o Options) []campaign.Task {
 	var tasks []campaign.Task
 	for si, scn := range ChaosScenarios {
 		for _, aqmName := range ChaosAQMs {
@@ -126,24 +158,7 @@ func Chaos(o Options) ([]ChaosPoint, []string, error) {
 			})
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	out := make([]ChaosPoint, 0, len(recs))
-	var failed []string
-	for _, rec := range recs {
-		scn, _ := rec.Params["scenario"].(string)
-		aqmName, _ := rec.Params["aqm"].(string)
-		p, ok := rec.Result.(ChaosPoint)
-		if rec.Err != "" || !ok {
-			failed = append(failed, fmt.Sprintf("%s/%s", scn, aqmName))
-			out = append(out, ChaosPoint{Scenario: scn, AQM: aqmName})
-			continue
-		}
-		out = append(out, p)
-	}
-	if len(failed) > 0 {
-		return out, failed, errors.New("chaos cells failed: " + fmt.Sprint(failed))
-	}
-	return out, nil, nil
+	return tasks
 }
 
 func chaosDuration(o Options) time.Duration {

@@ -45,6 +45,22 @@ func DefaultCombos() [][2]int {
 // for each pair (Cubic vs DCTCP, Cubic vs ECN-Cubic) and AQM (PIE, PI2) at
 // 40 Mb/s, 10 ms RTT.
 func FlowCombos(o Options, combos [][2]int) []ComboPoint {
+	tasks := combosTasks(o, combos)
+	recs := campaign.Execute(tasks, o.execFor("combos", gridSpec{Combos: combos}))
+	out := make([]ComboPoint, len(recs))
+	for i, rec := range recs {
+		if p, ok := rec.Result.(ComboPoint); ok {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// combosTasks builds the pair × AQM × combo matrix. A nil combo list
+// selects the defaults; both that resolution and the quick override run
+// inside the builder so coordinator and worker derive the same matrix
+// from the same spec.
+func combosTasks(o Options, combos [][2]int) []campaign.Task {
 	if combos == nil {
 		combos = DefaultCombos()
 	}
@@ -69,14 +85,7 @@ func FlowCombos(o Options, combos [][2]int) []ComboPoint {
 			}
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	out := make([]ComboPoint, len(recs))
-	for i, rec := range recs {
-		if p, ok := rec.Result.(ComboPoint); ok {
-			out[i] = p
-		}
-	}
-	return out
+	return tasks
 }
 
 func runCombo(o Options, tc *campaign.TaskCtx, na, nb int, aqmName, pair string) ComboPoint {

@@ -47,19 +47,7 @@ type dualArm struct {
 // (SeedIndex 0) so they see identical traffic randomness; they run as two
 // engine tasks and so in parallel when o.Jobs > 1.
 func DualQ(o Options, na, nb int) *DualQResult {
-	tasks := []campaign.Task{
-		{
-			Name: "dualq/single", SeedIndex: 0,
-			Params: map[string]any{"na": na, "nb": nb},
-			Run:    func(tc *campaign.TaskCtx) any { return dualQSingleArm(o, tc, na, nb) },
-		},
-		{
-			Name: "dualq/dual", SeedIndex: 0,
-			Params: map[string]any{"na": na, "nb": nb},
-			Run:    func(tc *campaign.TaskCtx) any { return dualQDualArm(o, tc, na, nb) },
-		},
-	}
-	recs := campaign.Execute(tasks, o.exec())
+	recs := campaign.Execute(dualqTasks(o, na, nb), o.execFor("dualq", gridSpec{NA: na, NB: nb}))
 	res := &DualQResult{}
 	if a, ok := recs[0].Result.(dualArm); ok {
 		res.SingleRatio = a.Ratio
@@ -76,6 +64,22 @@ func DualQ(o Options, na, nb int) *DualQResult {
 		res.JainDual = a.Jain
 	}
 	return res
+}
+
+// dualqTasks builds the paired single-queue/dual-queue arms.
+func dualqTasks(o Options, na, nb int) []campaign.Task {
+	return []campaign.Task{
+		{
+			Name: "dualq/single", SeedIndex: 0,
+			Params: map[string]any{"na": na, "nb": nb},
+			Run:    func(tc *campaign.TaskCtx) any { return dualQSingleArm(o, tc, na, nb) },
+		},
+		{
+			Name: "dualq/dual", SeedIndex: 0,
+			Params: map[string]any{"na": na, "nb": nb},
+			Run:    func(tc *campaign.TaskCtx) any { return dualQDualArm(o, tc, na, nb) },
+		},
+	}
 }
 
 // dualQSingleArm is the single shared queue: per-class delay comes from the
@@ -234,14 +238,18 @@ type FQRow struct {
 // and transport-header inspection in the network. It runs as one engine
 // task with SeedIndex 0, so it sees the same traffic seed as DualQ's arms.
 func FQArrangement(o Options, na, nb int) FQRow {
-	tasks := []campaign.Task{{
+	recs := campaign.Execute(fqTasks(o, na, nb), o.execFor("dualq-fq", gridSpec{NA: na, NB: nb}))
+	row, _ := recs[0].Result.(FQRow)
+	return row
+}
+
+// fqTasks builds the FQ-CoDel arrangement's single-cell matrix.
+func fqTasks(o Options, na, nb int) []campaign.Task {
+	return []campaign.Task{{
 		Name: "dualq/fq-codel", SeedIndex: 0,
 		Params: map[string]any{"na": na, "nb": nb},
 		Run:    func(tc *campaign.TaskCtx) any { return fqArrangementArm(o, tc, na, nb) },
 	}}
-	recs := campaign.Execute(tasks, o.exec())
-	row, _ := recs[0].Result.(FQRow)
-	return row
 }
 
 func fqArrangementArm(o Options, tc *campaign.TaskCtx, na, nb int) FQRow {

@@ -53,6 +53,10 @@ type Options struct {
 	// "PI2 Parameters" follow-up recommends 15 ms for the Linux dualpi2
 	// default; goldens pin 20 ms, so overrides never regress them.
 	Target time.Duration
+	// Dispatch, if set, routes every grid with a registered task source
+	// through a fleet of worker processes (the CLI's -workers flag);
+	// records and tables stay byte-identical to in-process runs.
+	Dispatch campaign.Dispatcher
 }
 
 func (o Options) seed() int64 {
@@ -125,32 +129,38 @@ type Fig6Result struct {
 	Stages  []int
 }
 
-// Fig6 runs the Figure 6 experiment: 10:30:50:30:10 Reno flows over 50 s
-// stages, link 100 Mb/s, RTT 10 ms, α_PI = 0.125, β_PI = 1.25,
-// α_PI2 = 0.3125, β_PI2 = 3.125, T = 32 ms, target 20 ms.
-func Fig6(o Options) *Fig6Result {
+// fig6Counts is the staged flow schedule shared by Fig6 and Fig13.
+var fig6Counts = []int{10, 30, 50, 30, 10}
+
+// fig6Tasks builds the Figure 6 matrix: both arms share seed index 0 so
+// they see identical traffic schedules — the comparison is paired, exactly
+// as on a testbed.
+func fig6Tasks(o Options) []campaign.Task {
 	stageLen := o.scale(50 * time.Second)
-	counts := []int{10, 30, 50, 30, 10}
 	base := Scenario{
 		LinkRateBps: 100e6,
 		Staged: &StagedSpec{
 			CC:       "reno",
 			RTT:      10 * time.Millisecond,
-			Counts:   counts,
+			Counts:   fig6Counts,
 			StageLen: stageLen,
 		},
-		Duration: time.Duration(len(counts)) * stageLen,
+		Duration: time.Duration(len(fig6Counts)) * stageLen,
 		WarmUp:   stageLen / 2,
 	}
 	target := 20 * time.Millisecond
-
-	// Both arms share seed index 0 so they see identical traffic schedules
-	// — the comparison is paired, exactly as on a testbed.
-	recs := campaign.Execute([]campaign.Task{
+	return []campaign.Task{
 		variantTask("fig6/pi", 0, base, PIFactory(target)),
 		variantTask("fig6/pi2", 0, base, PI2Factory(target)),
-	}, o.exec())
-	return &Fig6Result{PI: resultOf(recs[0]), PI2: resultOf(recs[1]), Stages: counts}
+	}
+}
+
+// Fig6 runs the Figure 6 experiment: 10:30:50:30:10 Reno flows over 50 s
+// stages, link 100 Mb/s, RTT 10 ms, α_PI = 0.125, β_PI = 1.25,
+// α_PI2 = 0.3125, β_PI2 = 3.125, T = 32 ms, target 20 ms.
+func Fig6(o Options) *Fig6Result {
+	recs := campaign.Execute(fig6Tasks(o), o.execFor("fig6", gridSpec{}))
+	return &Fig6Result{PI: resultOf(recs[0]), PI2: resultOf(recs[1]), Stages: fig6Counts}
 }
 
 // variantTask builds the common paired-arm task: the base scenario with one
@@ -188,12 +198,15 @@ type Fig11Result struct {
 	Runs  map[string]map[string]*Result // load → variant → result
 }
 
-// Fig11 runs Figure 11: queuing latency and total throughput for
-// a) 5 TCP, b) 50 TCP, c) 5 TCP + 2×6 Mb/s UDP; link 10 Mb/s, RTT 100 ms.
-func Fig11(o Options) *Fig11Result {
+// fig11Case is one traffic load of Figure 11.
+type fig11Case struct {
+	load string
+	sc   Scenario
+}
+
+func fig11Cases(o Options) []fig11Case {
 	dur := o.scale(100 * time.Second)
 	warm := dur / 4
-	target := 20 * time.Millisecond
 	mkBase := func(tcpFlows int, udp bool) Scenario {
 		sc := Scenario{
 			LinkRateBps: 10e6,
@@ -210,27 +223,35 @@ func Fig11(o Options) *Fig11Result {
 		}
 		return sc
 	}
-	res := &Fig11Result{
-		Loads: []string{"5 TCP", "50 TCP", "5 TCP + 2 UDP"},
-		Runs:  make(map[string]map[string]*Result),
-	}
-	cases := []struct {
-		load string
-		sc   Scenario
-	}{
+	return []fig11Case{
 		{"5 TCP", mkBase(5, false)},
 		{"50 TCP", mkBase(50, false)},
 		{"5 TCP + 2 UDP", mkBase(5, true)},
 	}
-	// Matrix: load × variant; the two variants of one load share a seed
-	// index (paired comparison on identical traffic).
+}
+
+// fig11Tasks builds the load × variant matrix; the two variants of one
+// load share a seed index (paired comparison on identical traffic).
+func fig11Tasks(o Options) []campaign.Task {
+	target := 20 * time.Millisecond
 	var tasks []campaign.Task
-	for i, c := range cases {
+	for i, c := range fig11Cases(o) {
 		tasks = append(tasks,
 			variantTask("fig11/pie/"+c.load, i, c.sc, PIEFactory(target)),
 			variantTask("fig11/pi2/"+c.load, i, c.sc, PI2Factory(target)))
 	}
-	recs := campaign.Execute(tasks, o.exec())
+	return tasks
+}
+
+// Fig11 runs Figure 11: queuing latency and total throughput for
+// a) 5 TCP, b) 50 TCP, c) 5 TCP + 2×6 Mb/s UDP; link 10 Mb/s, RTT 100 ms.
+func Fig11(o Options) *Fig11Result {
+	cases := fig11Cases(o)
+	res := &Fig11Result{
+		Loads: []string{"5 TCP", "50 TCP", "5 TCP + 2 UDP"},
+		Runs:  make(map[string]map[string]*Result),
+	}
+	recs := campaign.Execute(fig11Tasks(o), o.execFor("fig11", gridSpec{}))
 	for i, c := range cases {
 		res.Runs[c.load] = map[string]*Result{
 			"pie": resultOf(recs[2*i]),
@@ -281,7 +302,7 @@ type Fig12Result struct {
 // Fig12 runs Figure 12: link capacity 100:20:100 Mb/s over 50 s stages,
 // 20 Reno flows, RTT 100 ms. The capacity drop at 50 s forces the queue to
 // spike; PI2's higher gain drains it faster with less oscillation.
-func Fig12(o Options) *Fig12Result {
+func fig12Tasks(o Options) []campaign.Task {
 	stage := o.scale(50 * time.Second)
 	target := 20 * time.Millisecond
 	base := Scenario{
@@ -296,10 +317,15 @@ func Fig12(o Options) *Fig12Result {
 		Duration: 3 * stage,
 		WarmUp:   stage / 2,
 	}
-	recs := campaign.Execute([]campaign.Task{
+	return []campaign.Task{
 		variantTask("fig12/pie", 0, base, PIEFactory(target)),
 		variantTask("fig12/pi2", 0, base, PI2Factory(target)),
-	}, o.exec())
+	}
+}
+
+func Fig12(o Options) *Fig12Result {
+	stage := o.scale(50 * time.Second)
+	recs := campaign.Execute(fig12Tasks(o), o.execFor("fig12", gridSpec{}))
 	r := &Fig12Result{PIE: resultOf(recs[0]), PI2: resultOf(recs[1])}
 	// Peak in the window following the capacity drop.
 	r.PeakPIEms = peakBetween(r.PIE, stage, stage+stage/2) * 1e3
@@ -334,25 +360,28 @@ type Fig13Result struct {
 
 // Fig13 runs Figure 13: the 10:30:50:30:10 staged schedule at 10 Mb/s,
 // RTT 100 ms, comparing PIE and PI2.
-func Fig13(o Options) *Fig13Result {
+func fig13Tasks(o Options) []campaign.Task {
 	stageLen := o.scale(50 * time.Second)
-	counts := []int{10, 30, 50, 30, 10}
 	target := 20 * time.Millisecond
 	base := Scenario{
 		LinkRateBps: 10e6,
 		Staged: &StagedSpec{
 			CC:       "reno",
 			RTT:      100 * time.Millisecond,
-			Counts:   counts,
+			Counts:   fig6Counts,
 			StageLen: stageLen,
 		},
-		Duration: time.Duration(len(counts)) * stageLen,
+		Duration: time.Duration(len(fig6Counts)) * stageLen,
 		WarmUp:   stageLen / 2,
 	}
-	recs := campaign.Execute([]campaign.Task{
+	return []campaign.Task{
 		variantTask("fig13/pie", 0, base, PIEFactory(target)),
 		variantTask("fig13/pi2", 0, base, PI2Factory(target)),
-	}, o.exec())
+	}
+}
+
+func Fig13(o Options) *Fig13Result {
+	recs := campaign.Execute(fig13Tasks(o), o.execFor("fig13", gridSpec{}))
 	return &Fig13Result{PIE: resultOf(recs[0]), PI2: resultOf(recs[1])}
 }
 
@@ -381,35 +410,46 @@ type Fig14Result struct {
 // Fig14 runs Figure 14: per-packet queuing-delay CDFs for target delays of
 // 5 ms and 20 ms under a) 20 TCP flows and b) 5 TCP + 2 UDP flows
 // (10 Mb/s, RTT 100 ms).
-func Fig14(o Options) *Fig14Result {
-	dur := o.scale(100 * time.Second)
-	warm := dur / 4
-	res := &Fig14Result{}
-	var tasks []campaign.Task
+// fig14Cases enumerates the (target, load) grid in matrix order.
+func fig14Cases() []Fig14Case {
+	var cases []Fig14Case
 	for _, target := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond} {
 		for _, load := range []string{"20 TCP", "5 TCP + 2 UDP"} {
-			sc := Scenario{
-				LinkRateBps: 10e6,
-				Duration:    dur,
-				WarmUp:      warm,
-			}
-			if load == "20 TCP" {
-				sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 20, RTT: 100 * time.Millisecond}}
-			} else {
-				sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 5, RTT: 100 * time.Millisecond}}
-				sc.UDP = []traffic.UDPSpec{{RateBps: 6e6}, {RateBps: 6e6}}
-			}
-			// The PIE and PI2 arms of one (target, load) cell pair up on
-			// the cell's seed index.
-			cell := len(res.Cases)
-			name := fmt.Sprintf("fig14/%v/%s", target, load)
-			tasks = append(tasks,
-				variantTask(name+"/pie", cell, sc, PIEFactory(target)),
-				variantTask(name+"/pi2", cell, sc, PI2Factory(target)))
-			res.Cases = append(res.Cases, Fig14Case{Target: target, Load: load})
+			cases = append(cases, Fig14Case{Target: target, Load: load})
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
+	return cases
+}
+
+func fig14Tasks(o Options) []campaign.Task {
+	dur := o.scale(100 * time.Second)
+	warm := dur / 4
+	var tasks []campaign.Task
+	for cell, c := range fig14Cases() {
+		sc := Scenario{
+			LinkRateBps: 10e6,
+			Duration:    dur,
+			WarmUp:      warm,
+		}
+		if c.Load == "20 TCP" {
+			sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 20, RTT: 100 * time.Millisecond}}
+		} else {
+			sc.Bulk = []traffic.BulkFlowSpec{{CC: "reno", Count: 5, RTT: 100 * time.Millisecond}}
+			sc.UDP = []traffic.UDPSpec{{RateBps: 6e6}, {RateBps: 6e6}}
+		}
+		// The PIE and PI2 arms of one (target, load) cell pair up on the
+		// cell's seed index.
+		name := fmt.Sprintf("fig14/%v/%s", c.Target, c.Load)
+		tasks = append(tasks,
+			variantTask(name+"/pie", cell, sc, PIEFactory(c.Target)),
+			variantTask(name+"/pi2", cell, sc, PI2Factory(c.Target)))
+	}
+	return tasks
+}
+
+func Fig14(o Options) *Fig14Result {
+	res := &Fig14Result{Cases: fig14Cases()}
+	recs := campaign.Execute(fig14Tasks(o), o.execFor("fig14", gridSpec{}))
 	for i := range res.Cases {
 		res.Cases[i].PIE = resultOf(recs[2*i])
 		res.Cases[i].PI2 = resultOf(recs[2*i+1])

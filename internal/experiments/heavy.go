@@ -81,8 +81,12 @@ type HeavyPoint struct {
 	JainHW, QMeanHW, QP99HW, UtilHW float64
 	RateCoV                         float64
 
-	soj   *stats.LogHistogram // this rep's sojourn histogram (pooled via Merge)
-	rateW stats.Welford       // this rep's per-flow-rate moments (pooled via Merge)
+	// Soj and RateW are this rep's sojourn histogram and per-flow-rate
+	// moments (pooled across reps via Merge). Exported so they survive the
+	// fleet wire (gob drops unexported fields); excluded from -json, which
+	// never carried them.
+	Soj   *stats.LogHistogram `json:"-"`
+	RateW stats.Welford       `json:"-"`
 }
 
 // EventCount satisfies campaign.EventCounter for per-run events/sec records.
@@ -110,11 +114,10 @@ func heavyMix(n int) (reno, cubic, dctcp int) {
 	return
 }
 
-// Heavy runs the flow-count scaling sweep: each count in HeavyFlowCounts
-// through PIE, PI2 and DualPI2. Cells fan out across o.Jobs workers; a
-// non-nil error names every failed cell (so a CI smoke run exits nonzero)
-// while the returned points still cover the cells that completed.
-func Heavy(o Options) ([]HeavyPoint, error) {
+// heavyTasks builds the AQM × flow-count (× rep) matrix. The rep loop is
+// innermost with SeedIndex = len(tasks), so at reps=1 the cell→seed
+// mapping is exactly the historical one and the table stays byte-identical.
+func heavyTasks(o Options) []campaign.Task {
 	counts := HeavyFlowCounts
 	if o.Quick {
 		counts = []int{10, 100}
@@ -129,9 +132,6 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 		for _, n := range cs {
 			for rep := 0; rep < reps; rep++ {
 				aqmName, n := aqmName, n
-				// The rep loop is innermost with SeedIndex = len(tasks), so
-				// at reps=1 the cell→seed mapping is exactly the historical
-				// one and the table stays byte-identical.
 				tasks = append(tasks, campaign.Task{
 					Name:      "heavy",
 					SeedIndex: len(tasks),
@@ -146,22 +146,40 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 			}
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	var out []HeavyPoint
-	var failed []string
-	for base := 0; base < len(recs); base += reps {
+	return tasks
+}
+
+// Heavy runs the flow-count scaling sweep: each count in HeavyFlowCounts
+// through PIE, PI2 and DualPI2. Cells fan out across o.Jobs workers (or a
+// worker-process fleet); a non-nil error names every failed cell (so a CI
+// smoke run exits nonzero) while the returned points still cover the cells
+// that completed. Records stream: each cell's reps aggregate the moment
+// the group completes — full RunRecords are dropped on the spot, so peak
+// memory holds one aggregated point per group plus the in-flight window,
+// not the whole grid.
+func Heavy(o Options) ([]HeavyPoint, error) {
+	tasks := heavyTasks(o)
+	reps := o.reps()
+	nGroups := len(tasks) / reps
+	type heavyGroup struct {
+		ok bool
+		pt HeavyPoint
+	}
+	groups := make([]heavyGroup, nGroups)
+	groupFails := make([][]string, nGroups)
+	groupFold(tasks, o.execFor("heavy", gridSpec{}), reps, func(group int, recs []campaign.RunRecord) {
 		var pts []HeavyPoint
 		var wallMs float64
 		var events uint64
-		for _, rec := range recs[base : base+reps] {
+		for _, rec := range recs {
 			if rec.Err != "" {
-				failed = append(failed, fmt.Sprintf("%s/%v flows=%v rep=%v: %s",
+				groupFails[group] = append(groupFails[group], fmt.Sprintf("%s/%v flows=%v rep=%v: %s",
 					rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Params["rep"], rec.Err))
 				continue
 			}
 			p, ok := rec.Result.(HeavyPoint)
 			if !ok {
-				failed = append(failed, fmt.Sprintf("%s/%v flows=%v rep=%v: no result",
+				groupFails[group] = append(groupFails[group], fmt.Sprintf("%s/%v flows=%v rep=%v: no result",
 					rec.Name, rec.Params["aqm"], rec.Params["flows"], rec.Params["rep"]))
 				continue
 			}
@@ -170,7 +188,7 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 			pts = append(pts, p)
 		}
 		if len(pts) == 0 {
-			continue
+			return
 		}
 		p := aggregateHeavy(pts)
 		p.WallMs = wallMs
@@ -178,7 +196,16 @@ func Heavy(o Options) ([]HeavyPoint, error) {
 			p.EventsPerSec = float64(events) / (wallMs / 1e3)
 			p.SimSecPerWallSec = heavyDuration(o).Seconds() * float64(len(pts)) / (wallMs / 1e3)
 		}
-		out = append(out, p)
+		groups[group] = heavyGroup{ok: true, pt: p}
+	})
+	// Assemble in matrix order regardless of completion order.
+	var out []HeavyPoint
+	var failed []string
+	for g := range groups {
+		if groups[g].ok {
+			out = append(out, groups[g].pt)
+		}
+		failed = append(failed, groupFails[g]...)
 	}
 	if len(failed) > 0 {
 		return out, errors.New("heavy cells failed: " + fmt.Sprint(failed))
@@ -210,10 +237,10 @@ func aggregateHeavy(pts []HeavyPoint) HeavyPoint {
 		qmean.Add(p.QMeanMs)
 		qp99.Add(p.QP99Ms)
 		util.Add(p.Util)
-		if p.soj != nil {
-			pooled.Merge(p.soj)
+		if p.Soj != nil {
+			pooled.Merge(p.Soj)
 		}
-		rates.Merge(p.rateW)
+		rates.Merge(p.RateW)
 		events += p.Events
 	}
 	agg.Reps = len(pts)
@@ -233,7 +260,7 @@ func aggregateHeavy(pts []HeavyPoint) HeavyPoint {
 	agg.FFEpochs = ffEpochs / len(pts)
 	agg.FFVirtualPkts = ffPkts / uint64(len(pts))
 	agg.FFTimeS = ffTime / float64(len(pts))
-	agg.soj, agg.rateW = pooled, rates
+	agg.Soj, agg.RateW = pooled, rates
 	return agg
 }
 
@@ -303,10 +330,10 @@ func runHeavyCell(o Options, tc *campaign.TaskCtx, n int, aqmName string) HeavyP
 		FFVirtualPkts: r.FFVirtualPkts,
 		FFTimeS:       r.FFTime.Seconds(),
 	}
-	p.soj, _ = r.Sojourn.(*stats.LogHistogram)
+	p.Soj, _ = r.Sojourn.(*stats.LogHistogram)
 	for _, g := range r.Groups {
 		for _, rate := range g.FlowRates {
-			p.rateW.Add(rate)
+			p.RateW.Add(rate)
 		}
 	}
 	return p
@@ -373,10 +400,10 @@ func runHeavyDual(o Options, tc *campaign.TaskCtx, n int) HeavyPoint {
 		QP99Ms:  soj.Percentile(99) * 1e3,
 		Util:    dual.Utilization(),
 		Events:  s.Processed(),
-		soj:     soj,
+		Soj:     soj,
 	}
 	for _, r := range rates {
-		p.rateW.Add(r)
+		p.RateW.Add(r)
 	}
 	return p
 }

@@ -95,6 +95,38 @@ func (p InteropPoint) Metrics() map[string]float64 {
 // fingerprints are byte-stable across every harness parallelism knob, which
 // the determinism tests pin (-jobs and -shards must not move a single bit).
 func Interop(o Options) ([]InteropPoint, []string, error) {
+	tasks := interopTasks(o)
+	out := make([]InteropPoint, len(tasks))
+	bad := make([]bool, len(tasks))
+	// Records fold by index as they stream in; failures are listed in
+	// matrix order afterwards (deterministic under any completion order).
+	campaign.ExecuteStream(tasks, o.execFor("interop", gridSpec{}), func(rec campaign.RunRecord) {
+		cc, _ := rec.Params["cc"].(string)
+		fb, _ := rec.Params["fb"].(string)
+		aqmName, _ := rec.Params["aqm"].(string)
+		p, ok := rec.Result.(InteropPoint)
+		if rec.Err != "" || !ok {
+			bad[rec.Index] = true
+			out[rec.Index] = InteropPoint{CC: cc, Feedback: fb, AQM: aqmName}
+			return
+		}
+		out[rec.Index] = p
+	})
+	var failed []string
+	for i, b := range bad {
+		if b {
+			failed = append(failed, fmt.Sprintf("%s/%s/%s", out[i].CC, out[i].Feedback, out[i].AQM))
+		}
+	}
+	if len(failed) > 0 {
+		return out, failed, errors.New("interop cells failed: " + fmt.Sprint(failed))
+	}
+	return out, nil, nil
+}
+
+// interopTasks builds the cc × feedback × AQM matrix; the AQM arms of one
+// (cc, feedback) pair share a seed index.
+func interopTasks(o Options) []campaign.Task {
 	var tasks []campaign.Task
 	for ci, cc := range InteropCCs {
 		for fi, fb := range InteropFeedbacks {
@@ -111,25 +143,7 @@ func Interop(o Options) ([]InteropPoint, []string, error) {
 			}
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	out := make([]InteropPoint, 0, len(recs))
-	var failed []string
-	for _, rec := range recs {
-		cc, _ := rec.Params["cc"].(string)
-		fb, _ := rec.Params["fb"].(string)
-		aqmName, _ := rec.Params["aqm"].(string)
-		p, ok := rec.Result.(InteropPoint)
-		if rec.Err != "" || !ok {
-			failed = append(failed, fmt.Sprintf("%s/%s/%s", cc, fb, aqmName))
-			out = append(out, InteropPoint{CC: cc, Feedback: fb, AQM: aqmName})
-			continue
-		}
-		out = append(out, p)
-	}
-	if len(failed) > 0 {
-		return out, failed, errors.New("interop cells failed: " + fmt.Sprint(failed))
-	}
-	return out, nil, nil
+	return tasks
 }
 
 func interopDuration(o Options) time.Duration {

@@ -26,6 +26,7 @@ func opts(ctx *campaign.Context) Options {
 		FastForward:  ctx.FastForward,
 		Reps:         ctx.Reps,
 		Target:       time.Duration(ctx.TargetMs) * time.Millisecond,
+		Dispatch:     ctx.Dispatch,
 	}
 }
 

@@ -28,6 +28,19 @@ func (p RTTFairPoint) EventCount() uint64 { return p.Events }
 // stretches when they differ (classic TCP RTT-unfairness compounds with
 // the coupling).
 func RTTFairSweep(o Options) []RTTFairPoint {
+	tasks := rttfairTasks(o)
+	recs := campaign.Execute(tasks, o.execFor("rttfair", gridSpec{}))
+	out := make([]RTTFairPoint, len(recs))
+	for i, rec := range recs {
+		if p, ok := rec.Result.(RTTFairPoint); ok {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// rttfairTasks builds the RTT-cross matrix.
+func rttfairTasks(o Options) []campaign.Task {
 	rtts := []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond}
 	if o.Quick {
 		rtts = []time.Duration{5 * time.Millisecond, 80 * time.Millisecond}
@@ -66,14 +79,7 @@ func RTTFairSweep(o Options) []RTTFairPoint {
 			})
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	out := make([]RTTFairPoint, len(recs))
-	for i, rec := range recs {
-		if p, ok := rec.Result.(RTTFairPoint); ok {
-			out[i] = p
-		}
-	}
-	return out
+	return tasks
 }
 
 // PrintRTTFair writes the sweep as a table.

@@ -53,7 +53,10 @@ type SweepPoint struct {
 	Reps                     int
 	RatioHW, QMeanHW, QP99HW float64
 
-	soj *stats.Sample // this rep's exact sojourn sample (pooled via Merge)
+	// Soj is this rep's exact sojourn sample (pooled across reps via
+	// Merge). Exported so it survives the fleet wire (gob drops unexported
+	// fields); excluded from -json, which never carried it.
+	Soj *stats.Sample `json:"-"`
 }
 
 // EventCount satisfies campaign.EventCounter for per-run events/sec records.
@@ -64,12 +67,11 @@ type Quantiles struct {
 	P1, P25, Mean, P99 float64
 }
 
-// CoexistenceSweep runs the full Figures 15–18 grid: for each link × RTT,
-// each pair (Cubic vs DCTCP, Cubic vs ECN-Cubic) and each AQM (PIE, PI2).
-// One call produces the data for all four figures. The grid's cells are
-// independent single-bottleneck runs, so they fan out across o.Jobs workers;
-// output order and values depend only on the matrix, never on scheduling.
-func CoexistenceSweep(o Options) []SweepPoint {
+// sweepTasks builds the pair × AQM × link × RTT (× rep) matrix. The
+// innermost rep loop keeps SeedIndex = len(tasks): at reps=1 the cell→seed
+// mapping is exactly the historical one, so the golden sweep tables stay
+// byte-identical.
+func sweepTasks(o Options) []campaign.Task {
 	links := SweepLinksMbps
 	rtts := SweepRTTs
 	if o.Quick {
@@ -84,9 +86,6 @@ func CoexistenceSweep(o Options) []SweepPoint {
 				for _, rtt := range rtts {
 					for rep := 0; rep < reps; rep++ {
 						pair, aqmName, linkMbps, rtt := pair, aqmName, linkMbps, rtt
-						// Innermost rep loop with SeedIndex = len(tasks):
-						// reps=1 keeps the historical cell->seed mapping, so
-						// the golden sweep tables stay byte-identical.
 						tasks = append(tasks, campaign.Task{
 							Name:      "sweep",
 							SeedIndex: len(tasks),
@@ -104,21 +103,34 @@ func CoexistenceSweep(o Options) []SweepPoint {
 			}
 		}
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	out := make([]SweepPoint, 0, len(recs)/reps)
-	for base := 0; base < len(recs); base += reps {
+	return tasks
+}
+
+// CoexistenceSweep runs the full Figures 15–18 grid: for each link × RTT,
+// each pair (Cubic vs DCTCP, Cubic vs ECN-Cubic) and each AQM (PIE, PI2).
+// One call produces the data for all four figures. The grid's cells are
+// independent single-bottleneck runs, so they fan out across o.Jobs workers
+// (or a worker-process fleet); output order and values depend only on the
+// matrix, never on scheduling. Records stream: each cell's reps aggregate
+// as soon as the group completes and the full records are dropped, so peak
+// memory holds per-group points, not the grid.
+func CoexistenceSweep(o Options) []SweepPoint {
+	tasks := sweepTasks(o)
+	reps := o.reps()
+	out := make([]SweepPoint, len(tasks)/reps)
+	groupFold(tasks, o.execFor("sweep", gridSpec{}), reps, func(group int, recs []campaign.RunRecord) {
 		var pts []SweepPoint
-		for _, rec := range recs[base : base+reps] {
+		for _, rec := range recs {
 			if p, ok := rec.Result.(SweepPoint); ok {
 				pts = append(pts, p)
 			}
 		}
 		if len(pts) == 0 {
-			out = append(out, SweepPoint{})
-			continue
+			out[group] = SweepPoint{}
+			return
 		}
-		out = append(out, aggregateSweep(pts))
-	}
+		out[group] = aggregateSweep(pts)
+	})
 	return out
 }
 
@@ -142,8 +154,8 @@ func aggregateSweep(pts []SweepPoint) SweepPoint {
 		ratio.Add(p.Ratio)
 		qmean.Add(p.QMean)
 		qp99.Add(p.QP99)
-		if p.soj != nil {
-			pooled.Merge(p.soj)
+		if p.Soj != nil {
+			pooled.Merge(p.Soj)
 		}
 		probA.add(p.ProbA)
 		probB.add(p.ProbB)
@@ -162,7 +174,7 @@ func aggregateSweep(pts []SweepPoint) SweepPoint {
 	}
 	agg.ProbA, agg.ProbB, agg.Util = probA.mean(), probB.mean(), util.mean()
 	agg.Events = events / uint64(len(pts))
-	agg.soj = pooled
+	agg.Soj = pooled
 	return agg
 }
 
@@ -215,7 +227,7 @@ func runSweepPoint(o Options, tc *campaign.TaskCtx, linkMbps float64, rtt time.D
 	if pt.RateB > 0 {
 		pt.Ratio = pt.RateA / pt.RateB
 	}
-	pt.soj, _ = res.Sojourn.(*stats.Sample)
+	pt.Soj, _ = res.Sojourn.(*stats.Sample)
 	pt.ProbA = quantiles(res.ClassicProb)
 	if res.ScalableProb.N() > 0 {
 		pt.ProbB = quantiles(res.ScalableProb)

@@ -39,6 +39,18 @@ var fctAQMs = []string{"pie", "bare-pie", "pi2"}
 // quantiles. All three AQMs share SeedIndex 0: same arrival process, same
 // flow sizes — the comparison varies only the queue.
 func FigFCT(o Options) *FCTResult {
+	recs := campaign.Execute(fctTasks(o), o.execFor("fct", gridSpec{}))
+	res := &FCTResult{ByAQM: make(map[string]Quantiles), Flows: make(map[string]int)}
+	for i, name := range fctAQMs {
+		r := resultOf(recs[i])
+		res.ByAQM[name] = quantiles(r.WebFCT)
+		res.Flows[name] = r.WebFCT.N()
+	}
+	return res
+}
+
+// fctTasks builds the AQM comparison arms; all share SeedIndex 0.
+func fctTasks(o Options) []campaign.Task {
 	dur := o.scale(120 * time.Second)
 	var tasks []campaign.Task
 	for _, name := range fctAQMs {
@@ -70,14 +82,7 @@ func FigFCT(o Options) *FCTResult {
 			},
 		})
 	}
-	recs := campaign.Execute(tasks, o.exec())
-	res := &FCTResult{ByAQM: make(map[string]Quantiles), Flows: make(map[string]int)}
-	for i, name := range fctAQMs {
-		r := resultOf(recs[i])
-		res.ByAQM[name] = quantiles(r.WebFCT)
-		res.Flows[name] = r.WebFCT.N()
-	}
-	return res
+	return tasks
 }
 
 // Print writes the FCT comparison.

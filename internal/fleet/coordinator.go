@@ -1,0 +1,363 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"pi2/internal/campaign"
+)
+
+// Config describes a worker pool.
+type Config struct {
+	// Workers is the number of worker processes (min 1).
+	Workers int
+	// Command is the argv spawning one worker; it must speak the fleet
+	// protocol on stdin/stdout. Default: the running binary with -worker
+	// appended, i.e. []string{os.Executable(), "-worker"}.
+	Command []string
+	// Env is appended to the parent environment for each worker.
+	Env []string
+	// Stderr receives the workers' stderr (default os.Stderr): cell
+	// panics are caught inside the worker, so anything here is diagnostic.
+	Stderr io.Writer
+	// OnSpawn, if set, observes each worker process ID as it starts —
+	// the crash-recovery tests use it to aim their SIGKILLs.
+	OnSpawn func(pid int)
+}
+
+// Pool is a fleet coordinator: it implements campaign.Dispatcher over a
+// set of persistent worker processes. Workers are spawned lazily on the
+// first Dispatch and re-initialized (not re-spawned) for each subsequent
+// matrix, so a multi-experiment invocation pays process startup once.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers []*worker
+	spawned bool
+}
+
+// worker is one coordinator-side process handle. Its fields are owned by
+// the goroutine driving it during a Dispatch; dead transitions once.
+type worker struct {
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	enc  *json.Encoder
+	dec  *json.Decoder
+	pid  int
+	dead bool
+}
+
+// NewPool builds a pool; no processes start until the first Dispatch.
+func NewPool(cfg Config) *Pool {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	return &Pool{cfg: cfg}
+}
+
+// Close terminates every worker. Closing stdin asks for a clean exit (the
+// worker's read loop returns on EOF); Kill covers the ones that don't.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.in != nil {
+			w.in.Close()
+		}
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.cmd.Wait()
+	}
+	p.workers = nil
+	p.spawned = false
+}
+
+func (p *Pool) spawnLocked() {
+	if p.spawned {
+		return
+	}
+	p.spawned = true
+	argv := p.cfg.Command
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(p.cfg.Stderr, "fleet: cannot locate own binary (%v); campaign runs in-process\n", err)
+			return
+		}
+		argv = []string{exe, "-worker"}
+	}
+	for i := 0; i < p.cfg.Workers; i++ {
+		w, err := spawnWorker(argv, p.cfg.Env, p.cfg.Stderr)
+		if err != nil {
+			fmt.Fprintf(p.cfg.Stderr, "fleet: spawn worker %d: %v\n", i, err)
+			continue
+		}
+		if p.cfg.OnSpawn != nil {
+			p.cfg.OnSpawn(w.pid)
+		}
+		p.workers = append(p.workers, w)
+	}
+}
+
+func spawnWorker(argv, env []string, stderr io.Writer) (*worker, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &worker{
+		cmd: cmd, in: in,
+		enc: json.NewEncoder(in),
+		dec: json.NewDecoder(out),
+		pid: cmd.Process.Pid,
+	}, nil
+}
+
+// dispatchState is the shared cell ledger for one Dispatch call.
+type dispatchState struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []int // cells not currently running, FIFO (re-dispatches at front)
+	outstanding int   // cells without a final record
+	crashes     map[int]int
+}
+
+func newDispatchState(n int) *dispatchState {
+	st := &dispatchState{
+		queue:       make([]int, n),
+		outstanding: n,
+		crashes:     make(map[int]int),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := range st.queue {
+		st.queue[i] = i
+	}
+	return st
+}
+
+// take pops the next cell. An empty queue with cells still in flight
+// elsewhere blocks rather than returning: a sibling worker may die and
+// requeue its cell, and an idle worker must be there to steal it. take
+// only reports false once every cell has a final record (or the caller's
+// worker is the last one standing and dies — then nobody waits).
+func (s *dispatchState) take() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && s.outstanding > 0 {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	i := s.queue[0]
+	s.queue = s.queue[1:]
+	return i, true
+}
+
+// finish records that cell i's final record was emitted.
+func (s *dispatchState) finish() {
+	s.mu.Lock()
+	s.outstanding--
+	if s.outstanding == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// crashCount reports how many worker deaths cell i has survived.
+func (s *dispatchState) crashCount(i int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes[i]
+}
+
+// crashed records a worker death while cell i was in flight and decides
+// its fate: requeue at the front (true) while the crash budget lasts, or
+// give up (false). The budget is Retries+1 re-dispatches: a process death
+// says nothing deterministic about the cell (the usual cause is memory
+// pressure), so even a no-retries campaign gets one more try on a
+// surviving worker. The dying worker's driver exits after this call, so
+// wake an idle sibling to steal the requeued cell.
+func (s *dispatchState) crashed(i, retries int) (requeue bool, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashes[i]++
+	n = s.crashes[i]
+	if n <= retries+1 {
+		s.queue = append([]int{i}, s.queue...)
+		s.cond.Broadcast()
+		return true, n
+	}
+	return false, n
+}
+
+// remaining returns the unfinished cells in index order (only non-empty
+// when every worker died) and unblocks any future waiters.
+func (s *dispatchState) remaining() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.queue...)
+}
+
+// Dispatch implements campaign.Dispatcher: init every live worker with the
+// (family, spec) matrix identity, then pull-dispatch cells until the grid
+// drains. One Dispatch runs at a time per pool (experiments within an
+// invocation are sequential; the lock makes it explicit).
+func (p *Pool) Dispatch(tasks []campaign.Task, opt campaign.ExecOptions, emit func(campaign.RunRecord)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.spawnLocked()
+
+	live := p.initWorkers(tasks, opt)
+
+	st := newDispatchState(len(tasks))
+
+	var wg sync.WaitGroup
+	for _, w := range live {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			p.drive(w, tasks, opt, st, emit)
+		}(w)
+	}
+	wg.Wait()
+
+	// Every worker is gone but cells remain: degrade to in-process
+	// execution — the coordinator still holds the real closures, and
+	// RunOne keeps the records identical to what a worker would have
+	// produced.
+	if rem := st.remaining(); len(rem) > 0 {
+		fmt.Fprintf(p.cfg.Stderr, "fleet: all %d workers gone with %d cells left; finishing in-process\n",
+			len(live), len(rem))
+		for _, i := range rem {
+			rec := campaign.RunOne(tasks[i], i, opt)
+			rec.Attempts += st.crashes[i]
+			emit(rec)
+		}
+	}
+	return nil
+}
+
+// initWorkers (re)initializes every worker for this matrix and returns the
+// usable ones. A worker that fails init (pipe error, unknown family, or a
+// matrix-size disagreement — the latter two mean the worker binary drifted
+// from the coordinator) is marked dead and sits out the campaign.
+func (p *Pool) initWorkers(tasks []campaign.Task, opt campaign.ExecOptions) []*worker {
+	var live []*worker
+	init := initEnvelope(opt)
+	for _, w := range p.workers {
+		if w.dead {
+			continue
+		}
+		if err := w.enc.Encode(init); err != nil {
+			p.kill(w, fmt.Sprintf("init write: %v", err))
+			continue
+		}
+		var hello envelope
+		if err := w.dec.Decode(&hello); err != nil {
+			p.kill(w, fmt.Sprintf("init read: %v", err))
+			continue
+		}
+		switch {
+		case hello.Err != "":
+			p.kill(w, hello.Err)
+		case hello.Tasks != len(tasks):
+			p.kill(w, fmt.Sprintf("matrix size mismatch: worker built %d tasks, coordinator has %d",
+				hello.Tasks, len(tasks)))
+		default:
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// drive runs one worker's request/response loop until the queue drains or
+// the worker dies (any pipe error), in which case its in-flight cell is
+// requeued or — past the crash budget — recorded as failed.
+func (p *Pool) drive(w *worker, tasks []campaign.Task, opt campaign.ExecOptions,
+	st *dispatchState, emit func(campaign.RunRecord)) {
+	for {
+		i, ok := st.take()
+		if !ok {
+			return
+		}
+		rec, err := p.runCell(w, i)
+		if err != nil {
+			p.kill(w, fmt.Sprintf("cell %d: %v", i, err))
+			requeue, n := st.crashed(i, opt.Retries)
+			if !requeue {
+				t := tasks[i]
+				emit(campaign.RunRecord{
+					Name: t.Name, Index: i,
+					Seed:     campaign.DeriveSeed(opt.BaseSeed, t.SeedIndex),
+					Params:   t.Params,
+					Err:      fmt.Sprintf("fleet: cell killed %d worker process(es); crash budget exhausted", n),
+					Attempts: n,
+				})
+				st.finish()
+			}
+			return
+		}
+		// Crash count is execution metadata: re-dispatched cells surface
+		// how many process deaths they survived without perturbing the
+		// record's deterministic payload.
+		rec.Attempts += st.crashCount(i)
+		emit(rec)
+		st.finish()
+	}
+}
+
+// runCell sends one run request and reads the record back. Any error means
+// the worker can no longer be trusted (the protocol is strictly serial, so
+// a partial read has no recovery point).
+func (p *Pool) runCell(w *worker, i int) (campaign.RunRecord, error) {
+	var rec campaign.RunRecord
+	if err := w.enc.Encode(envelope{Type: "run", Index: i}); err != nil {
+		return rec, fmt.Errorf("write: %w", err)
+	}
+	var env envelope
+	if err := w.dec.Decode(&env); err != nil {
+		return rec, fmt.Errorf("read: %w", err)
+	}
+	if env.Type != "record" || env.Index != i {
+		return rec, fmt.Errorf("protocol: got %q for index %d, want record for %d", env.Type, env.Index, i)
+	}
+	if env.Err != "" {
+		return rec, fmt.Errorf("worker: %s", env.Err)
+	}
+	return campaign.DecodeRecord(env.Rec)
+}
+
+// kill marks a worker dead and reaps its process.
+func (p *Pool) kill(w *worker, why string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	fmt.Fprintf(p.cfg.Stderr, "fleet: worker %d lost (%s)\n", w.pid, why)
+	if w.in != nil {
+		w.in.Close()
+	}
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	w.cmd.Wait()
+}

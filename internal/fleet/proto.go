@@ -1,0 +1,98 @@
+// Package fleet shards a campaign across OS worker processes. The
+// coordinator (Pool) spawns N copies of the running binary in worker mode,
+// speaks a newline-delimited JSON protocol over their stdin/stdout, and
+// pull-dispatches cells one at a time — a worker asks for work implicitly
+// by finishing its previous cell, so slow cells never straggle a whole
+// worker's queue (work-stealing degenerates to "steal everything not yet
+// started"). Records stream back to the engine's emit funnel as they
+// arrive; nothing grid-sized accumulates here.
+//
+// Determinism: a worker rebuilds the identical task matrix from the
+// (family, spec) pair via campaign.RegisterSource and runs each dispatched
+// cell through campaign.RunOne — the same DeriveSeed/PerturbSeed/watchdog
+// machinery as the in-process pool. Which process runs a cell therefore
+// cannot affect its record, so `-workers N` output is byte-identical to
+// `-jobs M` for every N and M.
+//
+// Crash tolerance: a worker that dies (OOM kill, SIGKILL, panic outside
+// the cell sandbox) surfaces as an encoder/decoder error on its pipes. Its
+// in-flight cell is re-dispatched to a surviving worker at the same seed —
+// a process death says nothing about the cell, so the retry is attempt 0
+// again, keeping records identical — with a bounded crash budget
+// (Retries+1) before the cell is recorded as failed. If every worker dies,
+// the remaining cells run in-process: the coordinator still holds the real
+// task closures.
+package fleet
+
+import "pi2/internal/campaign"
+
+// envelope is one protocol message. Type discriminates; unused fields stay
+// at their zero values and are omitted from the wire.
+type envelope struct {
+	Type string `json:"t"`
+
+	// init (coordinator → worker): identifies the matrix and carries the
+	// execution knobs that must match the in-process pool for records to
+	// be bit-identical.
+	Family         string `json:"family,omitempty"`
+	Spec           []byte `json:"spec,omitempty"`
+	BaseSeed       int64  `json:"base_seed,omitempty"`
+	Shards         int    `json:"shards,omitempty"`
+	FastForward    bool   `json:"ff,omitempty"`
+	Retries        int    `json:"retries,omitempty"`
+	RetryBackoffNs int64  `json:"retry_backoff_ns,omitempty"`
+	WDTimeoutNs    int64  `json:"wd_timeout_ns,omitempty"`
+	WDStallNs      int64  `json:"wd_stall_ns,omitempty"`
+	WDPollNs       int64  `json:"wd_poll_ns,omitempty"`
+	WDGraceNs      int64  `json:"wd_grace_ns,omitempty"`
+
+	// hello (worker → coordinator): init acknowledgement. Tasks echoes the
+	// rebuilt matrix size so a source drift between binaries is caught
+	// before any cell runs; Err reports a worker-side init failure.
+	Pid   int    `json:"pid,omitempty"`
+	Tasks int    `json:"tasks,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// run (coordinator → worker) and record (worker → coordinator).
+	Index int `json:"index"`
+	// Rec is the gob-encoded RunRecord (campaign.EncodeRecord); JSON
+	// base64s it. Gob, not JSON, because Result/Params hold typed values
+	// that must round-trip exactly (see internal/campaign/wire.go).
+	Rec []byte `json:"rec,omitempty"`
+}
+
+// initEnvelope builds the init message for one Dispatch call.
+func initEnvelope(opt campaign.ExecOptions) envelope {
+	return envelope{
+		Type:           "init",
+		Family:         opt.Family,
+		Spec:           opt.Spec,
+		BaseSeed:       opt.BaseSeed,
+		Shards:         opt.Shards,
+		FastForward:    opt.FastForward,
+		Retries:        opt.Retries,
+		RetryBackoffNs: opt.RetryBackoff.Nanoseconds(),
+		WDTimeoutNs:    opt.Watchdog.Timeout.Nanoseconds(),
+		WDStallNs:      opt.Watchdog.Stall.Nanoseconds(),
+		WDPollNs:       opt.Watchdog.Poll.Nanoseconds(),
+		WDGraceNs:      opt.Watchdog.Grace.Nanoseconds(),
+	}
+}
+
+// execOptions reverses initEnvelope on the worker side. Progress,
+// Collector and Dispatch stay nil: a worker is a leaf.
+func (e envelope) execOptions() campaign.ExecOptions {
+	return campaign.ExecOptions{
+		BaseSeed:     e.BaseSeed,
+		Shards:       e.Shards,
+		FastForward:  e.FastForward,
+		Retries:      e.Retries,
+		RetryBackoff: durationNs(e.RetryBackoffNs),
+		Watchdog: campaign.Watchdog{
+			Timeout: durationNs(e.WDTimeoutNs),
+			Stall:   durationNs(e.WDStallNs),
+			Poll:    durationNs(e.WDPollNs),
+			Grace:   durationNs(e.WDGraceNs),
+		},
+	}
+}

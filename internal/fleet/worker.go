@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pi2/internal/campaign"
+)
+
+func durationNs(ns int64) time.Duration { return time.Duration(ns) }
+
+// Serve runs the worker side of the fleet protocol until the coordinator
+// closes our stdin (clean shutdown) or the pipe breaks. The loop is
+// strictly serial — one cell at a time, replying before reading the next
+// message — which is what lets the coordinator treat any pipe error as
+// "this worker is gone" without a timeout protocol. pi2bench calls it from
+// the -worker flag; test binaries call it from TestMain behind an env
+// gate.
+func Serve(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	var tasks []campaign.Task
+	var opt campaign.ExecOptions
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("fleet worker: read: %w", err)
+		}
+		switch env.Type {
+		case "init":
+			tasks, opt = nil, env.execOptions()
+			reply := envelope{Type: "hello", Pid: os.Getpid()}
+			if src, ok := campaign.LookupSource(env.Family); !ok {
+				reply.Err = fmt.Sprintf("unknown task source %q", env.Family)
+			} else if built, err := src(env.Spec); err != nil {
+				reply.Err = fmt.Sprintf("task source %q: %v", env.Family, err)
+			} else {
+				tasks = built
+				reply.Tasks = len(built)
+			}
+			if err := enc.Encode(reply); err != nil {
+				return fmt.Errorf("fleet worker: write hello: %w", err)
+			}
+		case "run":
+			reply := envelope{Type: "record", Index: env.Index}
+			if env.Index < 0 || env.Index >= len(tasks) {
+				reply.Err = fmt.Sprintf("index %d outside matrix of %d", env.Index, len(tasks))
+			} else {
+				rec := campaign.RunOne(tasks[env.Index], env.Index, opt)
+				b, err := campaign.EncodeRecord(&rec)
+				if err != nil {
+					// An unregistered result type can't cross the wire;
+					// strip it and surface the failure in the record so the
+					// table prints FAILED instead of the campaign wedging.
+					rec.Result = nil
+					rec.Err = fmt.Sprintf("fleet: result not wire-encodable: %v", err)
+					b, err = campaign.EncodeRecord(&rec)
+				}
+				if err != nil {
+					reply.Err = fmt.Sprintf("encode record %d: %v", env.Index, err)
+				} else {
+					reply.Rec = b
+				}
+			}
+			if err := enc.Encode(reply); err != nil {
+				return fmt.Errorf("fleet worker: write record: %w", err)
+			}
+		default:
+			// Ignore unknown message types: a newer coordinator may probe
+			// capabilities; silence is the compatible answer.
+		}
+	}
+}

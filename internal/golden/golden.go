@@ -80,10 +80,12 @@ type Fingerprint struct {
 // Capture runs the named experiment at golden scale and reduces it to a
 // fingerprint. Worker count affects only wall-clock time, never the result
 // (seeds derive from (Seed, cell index); records are sorted by identity).
-// A cell that fails — including an invariant-auditor violation, which the
-// runner raises as a panic carrying the full report — turns into an error
-// naming the cell.
-func Capture(name string, jobs int) (*Fingerprint, error) {
+// A non-nil dispatch routes the campaign through a fleet of worker
+// processes — fingerprints are identical either way, which is exactly what
+// the CI fleet-smoke job checks. A cell that fails — including an
+// invariant-auditor violation, which the runner raises as a panic carrying
+// the full report — turns into an error naming the cell.
+func Capture(name string, jobs int, dispatch campaign.Dispatcher) (*Fingerprint, error) {
 	exp, ok := campaign.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("golden: unknown experiment %q", name)
@@ -95,6 +97,7 @@ func Capture(name string, jobs int) (*Fingerprint, error) {
 		Seed:      Seed,
 		Jobs:      jobs,
 		Collector: col,
+		Dispatch:  dispatch,
 	}
 	var buf bytes.Buffer
 	if err := exp.Run(ctx, &buf); err != nil {
@@ -314,12 +317,12 @@ func Save(dir string, fp *Fingerprint) error {
 // Check captures one experiment at golden scale and compares it against its
 // baseline. It returns the mismatches (empty slice on success) — a non-nil
 // error means the capture or baseline load itself failed.
-func Check(name string, jobs int, dir string) ([]Mismatch, error) {
+func Check(name string, jobs int, dir string, dispatch campaign.Dispatcher) ([]Mismatch, error) {
 	want, err := Baseline(name, dir)
 	if err != nil {
 		return nil, err
 	}
-	got, err := Capture(name, jobs)
+	got, err := Capture(name, jobs, dispatch)
 	if err != nil {
 		return nil, err
 	}
