@@ -23,6 +23,19 @@
 // records stay byte-identical to any -jobs run; a killed worker's cells
 // are re-dispatched to the survivors.
 //
+// The fleet also crosses machines: `pi2bench -serve :9000` turns a host
+// into a worker host, and a coordinator started with -hosts <file> (lines:
+// `addr [workers=N] [shards=K] [ff=bool]`) dials them over TCP instead of
+// spawning local processes. The handshake rejects drifted binaries
+// explicitly; heartbeats let the coordinator kill and re-dispatch cells
+// from wedged-but-alive workers; broken links reconnect with capped
+// backoff. Inventories without per-host overrides keep the byte-identity
+// contract. -journal <file> appends every final record to a crash-safe
+// journal, and -resume replays it, skipping completed cells, so a killed
+// coordinator loses at most its in-flight cells. -fleet-chaos N injects
+// seeded connection faults (drops, stalls, truncated frames) for testing
+// the fault paths.
+//
 // -shards N partitions each cell's simulation across N event-loop domains
 // (conservative PDES with propagation-delay lookahead; see DESIGN.md). The
 // default 1 is the classic single loop and stays byte-identical to older
@@ -70,6 +83,11 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	workers := flag.Int("workers", 0, "dispatch grid cells across N worker processes (0 = in-process -jobs pool); output is byte-identical either way")
 	workerMode := flag.Bool("worker", false, "serve the fleet worker protocol on stdin/stdout (spawned by -workers; not for interactive use)")
+	serveAddr := flag.String("serve", "", "run a fleet worker host listening on this TCP address (e.g. :9000; :0 picks a port, printed on stdout)")
+	hostsPath := flag.String("hosts", "", "dispatch grid cells to the worker hosts in this inventory file (lines: addr [workers=N] [shards=K] [ff=bool])")
+	journalPath := flag.String("journal", "", "append every final run record to this crash-safe journal file")
+	resume := flag.Bool("resume", false, "replay -journal before running, skipping already-completed cells")
+	fleetChaos := flag.Int64("fleet-chaos", 0, "inject seeded connection faults into every fleet link (testing; 0 = off)")
 	shards := flag.Int("shards", 1, "event-loop domains per simulation (conservative PDES); 1 = classic single loop")
 	fastForward := flag.Bool("ff", false, "fast-forward quiescent congestion-avoidance epochs analytically (hybrid fluid/packet); also enables the 10k/50k heavy cells")
 	reps := flag.Int("reps", 1, "repeat heavy/sweep cells N times with perturbed seeds and print ± confidence bands")
@@ -89,7 +107,9 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pi2bench [-quick] [-timediv N] [-seed N] [-jobs N] [-workers N] [-shards N] [-ff] [-reps N]\n")
 		fmt.Fprintf(os.Stderr, "                [-target ms] [-json file] [-v]\n")
-		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "                [-cell-timeout d] [-cell-stall d] [-retries N]\n")
+		fmt.Fprintf(os.Stderr, "                [-hosts file] [-journal file] [-resume] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "       pi2bench -serve addr            (run a TCP worker host)\n")
 		fmt.Fprintf(os.Stderr, "       pi2bench -check|-update-golden [-jobs N] [-golden-dir dir] [<experiment>...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, name := range campaign.Names() {
@@ -110,6 +130,13 @@ func main() {
 		}
 		return
 	}
+	if *serveAddr != "" {
+		if err := fleet.ServeTCP(*serveAddr, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tagFree {
 		packet.PoisonFreed = true
 	}
@@ -120,15 +147,60 @@ func main() {
 	}
 	var pool *fleet.Pool
 	var dispatch campaign.Dispatcher
-	if *workers > 0 {
-		pool = fleet.NewPool(fleet.Config{Workers: *workers})
+	if *hostsPath != "" {
+		f, err := os.Open(*hostsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			os.Exit(1)
+		}
+		hosts, err := fleet.ParseHosts(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %s: %v\n", *hostsPath, err)
+			os.Exit(1)
+		}
+		pool = fleet.NewPool(fleet.Config{Hosts: hosts, ChaosSeed: *fleetChaos})
 		dispatch = pool
+	} else if *workers > 0 || *fleetChaos != 0 {
+		pool = fleet.NewPool(fleet.Config{Workers: *workers, ChaosSeed: *fleetChaos})
+		dispatch = pool
+	}
+	var journal *fleet.Journal
+	var resumeSet *fleet.ResumeSet
+	if *resume {
+		if *journalPath == "" {
+			fmt.Fprintln(os.Stderr, "pi2bench: -resume needs -journal (the file to replay)")
+			os.Exit(2)
+		}
+		rs, stats, err := fleet.LoadResume(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			os.Exit(1)
+		}
+		resumeSet = rs
+		fmt.Fprintf(os.Stderr, "pi2bench: resume: replayed %d record(s) in %d segment(s)",
+			stats.Records, stats.Segments)
+		if stats.Truncated > 0 {
+			fmt.Fprintf(os.Stderr, ", truncated %d torn byte(s)", stats.Truncated)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if *journalPath != "" {
+		j, err := fleet.OpenJournal(*journalPath, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
+			os.Exit(1)
+		}
+		journal = j
 	}
 	// Route every exit through here so profiles are flushed (and workers
 	// reaped) even when a golden check fails or an experiment errors.
 	exit := func(code int) {
 		if pool != nil {
 			pool.Close()
+		}
+		if journal != nil {
+			journal.Close()
 		}
 		stopProfiling()
 		if err := writeMemProfile(*memProfile); err != nil {
@@ -139,8 +211,15 @@ func main() {
 		}
 		os.Exit(code)
 	}
+	ex := golden.Exec{Jobs: *jobs, Dispatch: dispatch}
+	if journal != nil {
+		ex.Journal = journal
+	}
+	if resumeSet != nil {
+		ex.Resume = resumeSet
+	}
 	if *check || *update {
-		exit(goldenMode(*check, *update, *jobs, *goldenDir, dispatch, flag.Args()))
+		exit(goldenMode(*check, *update, *goldenDir, ex, flag.Args()))
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -153,6 +232,8 @@ func main() {
 		Watchdog: campaign.Watchdog{Timeout: *cellTimeout, Stall: *cellStall},
 		Retries:  *retries,
 		Dispatch: dispatch,
+		Journal:  ex.Journal,
+		Resume:   ex.Resume,
 	}
 	var jsonFile *os.File
 	if *jsonPath != "" {
@@ -288,7 +369,7 @@ func writeMemProfile(path string) error {
 // (default: the "all" expansion, which already covers every simulation grid
 // — fig15–fig18 and fig19–fig20 are views of "sweep" and "combos"). It
 // returns the process exit code.
-func goldenMode(check, update bool, jobs int, dir string, dispatch campaign.Dispatcher, args []string) int {
+func goldenMode(check, update bool, dir string, ex golden.Exec, args []string) int {
 	if check && update {
 		fmt.Fprintln(os.Stderr, "pi2bench: -check and -update-golden are mutually exclusive")
 		return 2
@@ -308,7 +389,7 @@ func goldenMode(check, update bool, jobs int, dir string, dispatch campaign.Disp
 			dir = golden.DefaultDir
 		}
 		for _, name := range names {
-			fp, err := golden.Capture(name, jobs, dispatch)
+			fp, err := golden.Capture(name, ex)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
 				return 1
@@ -323,7 +404,7 @@ func goldenMode(check, update bool, jobs int, dir string, dispatch campaign.Disp
 	}
 	failed := 0
 	for _, name := range names {
-		mismatches, err := golden.Check(name, jobs, dir, dispatch)
+		mismatches, err := golden.Check(name, dir, ex)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pi2bench: %v\n", err)
 			return 1

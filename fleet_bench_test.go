@@ -1,8 +1,11 @@
 package pi2bench
 
 import (
+	"bufio"
 	"encoding/json"
 	"os"
+	"os/exec"
+	"strings"
 	"testing"
 
 	"pi2/internal/campaign"
@@ -15,6 +18,12 @@ import (
 func TestMain(m *testing.M) {
 	if os.Getenv("PI2_FLEET_WORKER") == "1" {
 		if err := fleet.Serve(os.Stdin, os.Stdout); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if os.Getenv("PI2_FLEET_SERVE") == "1" {
+		if err := fleet.ServeTCP("127.0.0.1:0", os.Stdout, os.Stderr); err != nil {
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -96,4 +105,48 @@ func BenchmarkFleetDispatchOverhead(b *testing.B) {
 		b.ResetTimer()
 		campaign.Execute(tasks, opt)
 	})
+}
+
+// BenchmarkFleetTCPDispatchOverhead prices the same empty cell through the
+// TCP transport on loopback: a worker host process (re-exec'd with
+// PI2_FLEET_SERVE=1), one connection, per-cell read deadlines armed. The
+// delta over the stdio arm above is what -hosts costs on top of -workers
+// before any real network is involved.
+func BenchmarkFleetTCPDispatchOverhead(b *testing.B) {
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "PI2_FLEET_SERVE=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		b.Fatalf("reading host announcement: %v", err)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "fleet: listening on "))
+
+	pool := fleet.NewPool(fleet.Config{Hosts: []fleet.Host{{Addr: addr, Workers: 1}}})
+	defer pool.Close()
+	// Dial and handshake outside the timer: connection setup is a
+	// per-campaign cost, not a per-cell one.
+	warm, warmOpt := fleetBenchGrid(b, 1)
+	warmOpt.Dispatch = pool
+	campaign.Execute(warm, warmOpt)
+
+	tasks, opt := fleetBenchGrid(b, b.N)
+	opt.Dispatch = pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	campaign.Execute(tasks, opt)
 }

@@ -18,13 +18,13 @@ import (
 // the grid.
 type Collector struct {
 	mu      sync.Mutex
-	recs    []RunRecord           // flushed records (retained mode only)
-	w       io.Writer             // streaming sink; nil = retained mode
-	werr    error                 // first sink write error
-	wrote   int                   // records written to w so far
-	pending map[int]RunRecord     // out-of-order buffer, keyed by in-segment index
-	next    int                   // next in-segment index to flush
-	size    int                   // current segment's cell count
+	recs    []RunRecord       // flushed records (retained mode only)
+	w       io.Writer         // streaming sink; nil = retained mode
+	werr    error             // first sink write error
+	wrote   int               // records written to w so far
+	pending map[int]RunRecord // out-of-order buffer, keyed by in-segment index
+	next    int               // next in-segment index to flush
+	size    int               // current segment's cell count
 }
 
 // NewStreamingCollector returns a Collector that writes each record to w as

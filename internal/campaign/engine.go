@@ -238,18 +238,49 @@ type ExecOptions struct {
 	// of worker processes instead of the in-process pool. Records still
 	// arrive through the same collector/progress/sink funnel.
 	Dispatch Dispatcher
+	// Journal, when non-nil (and Family is set), observes every fresh
+	// final record so a crashed campaign can be resumed (-journal).
+	Journal JournalSink
+	// Resume, when non-nil (and Family is set), supplies final records
+	// from a previous invocation's journal: cells with a hit are emitted
+	// from the journal instead of re-running (-resume).
+	Resume ResumeSet
+	// SkipDone is set by ExecuteStream when Resume produced hits: the
+	// indices whose records were already emitted. Dispatchers must not run
+	// (or emit) these cells. Callers leave it nil.
+	SkipDone map[int]bool
 }
 
 // Dispatcher executes a task matrix somewhere other than the in-process
 // pool — typically a fleet of worker processes (internal/fleet). emit must
-// be invoked exactly once per cell; calls may come from any goroutine and
-// in any order (Execute serializes them). tasks carries the in-process
-// closures so a dispatcher can degrade to local execution when every
-// worker is gone. A returned error is a configuration or protocol bug
-// (unknown family, matrix-size disagreement), not a cell failure — cell
-// failures travel inside RunRecords.
+// be invoked exactly once per cell not in opt.SkipDone; calls may come
+// from any goroutine and in any order (Execute serializes them). tasks
+// carries the in-process closures so a dispatcher can degrade to local
+// execution when every worker is gone. A returned error is a
+// configuration or protocol bug (unknown family, matrix-size
+// disagreement), not a cell failure — cell failures travel inside
+// RunRecords.
 type Dispatcher interface {
 	Dispatch(tasks []Task, opt ExecOptions, emit func(RunRecord)) error
+}
+
+// JournalSink observes every final RunRecord of a matrix as it is emitted,
+// preceded by one BeginSegment identifying the matrix — enough for a
+// journal (internal/fleet) to replay a crashed campaign's completed cells.
+// Both methods are called under ExecuteStream's emit lock, so records for
+// one segment arrive serialized (in completion order, like every other
+// sink). Records resumed from a previous journal are NOT re-journaled.
+type JournalSink interface {
+	BeginSegment(family string, spec []byte, cells int)
+	Record(rec RunRecord)
+}
+
+// ResumeSet answers whether a cell already has a final record from a
+// previous (crashed) invocation of the same campaign. A hit must identify
+// the same matrix — implementations key on (family, spec) — and the
+// returned record is emitted verbatim instead of re-running the cell.
+type ResumeSet interface {
+	Lookup(family string, spec []byte, index int) (RunRecord, bool)
 }
 
 // PerturbSeed maps an attempt's base seed to a retry seed: a SplitMix64
@@ -321,9 +352,18 @@ func ExecuteStream(tasks []Task, opt ExecOptions, sink func(RunRecord)) {
 	if opt.Collector != nil {
 		opt.Collector.begin(len(tasks))
 	}
-	emit := func(rec RunRecord) {
+	journaling := opt.Journal != nil && opt.Family != ""
+	if journaling {
+		opt.Journal.BeginSegment(opt.Family, opt.Spec, len(tasks))
+	}
+	// fresh distinguishes records produced by this invocation (journaled)
+	// from ones replayed out of a previous journal (already on disk).
+	emitWith := func(rec RunRecord, fresh bool) {
 		mu.Lock()
 		done++
+		if journaling && fresh {
+			opt.Journal.Record(rec)
+		}
 		if opt.Collector != nil {
 			opt.Collector.add(rec)
 		}
@@ -334,6 +374,27 @@ func ExecuteStream(tasks []Task, opt ExecOptions, sink func(RunRecord)) {
 			sink(rec)
 		}
 		mu.Unlock()
+	}
+	emit := func(rec RunRecord) { emitWith(rec, true) }
+
+	// Resume: cells with a journaled final record are emitted verbatim and
+	// excluded from execution. The skip-set travels to dispatchers via
+	// opt.SkipDone so a fleet never re-dispatches a completed cell.
+	if opt.Resume != nil && opt.Family != "" {
+		skip := make(map[int]bool)
+		for i := range tasks {
+			if rec, ok := opt.Resume.Lookup(opt.Family, opt.Spec, i); ok {
+				rec.Index = i
+				skip[i] = true
+				emitWith(rec, false)
+			}
+		}
+		if len(skip) == len(tasks) {
+			return
+		}
+		if len(skip) > 0 {
+			opt.SkipDone = skip
+		}
 	}
 
 	if opt.Dispatch != nil && opt.Family != "" {
@@ -346,12 +407,13 @@ func ExecuteStream(tasks []Task, opt ExecOptions, sink func(RunRecord)) {
 		return
 	}
 
+	pending := len(tasks) - len(opt.SkipDone)
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(tasks) {
-		jobs = len(tasks)
+	if jobs > pending {
+		jobs = pending
 	}
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -365,7 +427,9 @@ func ExecuteStream(tasks []Task, opt ExecOptions, sink func(RunRecord)) {
 		}()
 	}
 	for i := range tasks {
-		idx <- i
+		if !opt.SkipDone[i] {
+			idx <- i
+		}
 	}
 	close(idx)
 	wg.Wait()

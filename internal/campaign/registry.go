@@ -110,6 +110,12 @@ type Context struct {
 	// Dispatch, if set, routes every family with a registered task source
 	// through a fleet of worker processes (the CLI's -workers flag).
 	Dispatch Dispatcher
+	// Journal, if set, records every fresh final RunRecord so a crashed
+	// invocation can be resumed (the CLI's -journal flag).
+	Journal JournalSink
+	// Resume, if set, replays a previous journal's completed cells
+	// instead of re-running them (the CLI's -resume flag).
+	Resume ResumeSet
 
 	mu   sync.Mutex
 	memo map[string]any

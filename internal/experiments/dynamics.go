@@ -57,6 +57,12 @@ type Options struct {
 	// through a fleet of worker processes (the CLI's -workers flag);
 	// records and tables stay byte-identical to in-process runs.
 	Dispatch campaign.Dispatcher
+	// Journal, if set, receives every final record of every grid with a
+	// registered task source (the CLI's -journal flag); Resume replays a
+	// previous journal, skipping already-completed cells (-resume). Both
+	// key on the same (family, spec) identity the dispatcher uses.
+	Journal campaign.JournalSink
+	Resume  campaign.ResumeSet
 }
 
 func (o Options) seed() int64 {
@@ -99,6 +105,8 @@ func (o Options) exec() campaign.ExecOptions {
 		Watchdog:     o.Watchdog,
 		Retries:      o.Retries,
 		RetryBackoff: o.RetryBackoff,
+		Journal:      o.Journal,
+		Resume:       o.Resume,
 	}
 }
 

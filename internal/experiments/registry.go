@@ -27,6 +27,8 @@ func opts(ctx *campaign.Context) Options {
 		Reps:         ctx.Reps,
 		Target:       time.Duration(ctx.TargetMs) * time.Millisecond,
 		Dispatch:     ctx.Dispatch,
+		Journal:      ctx.Journal,
+		Resume:       ctx.Resume,
 	}
 }
 

@@ -37,12 +37,14 @@ func (g gridSpec) options() Options {
 	}
 }
 
-// execFor assembles executor options for one grid family. Without a
-// dispatcher it is exactly o.exec(); with one it also attaches the
-// (family, spec) pair that lets worker processes rebuild the matrix.
+// execFor assembles executor options for one grid family. The (family,
+// spec) identity is attached whenever anything needs it: a dispatcher
+// (worker processes rebuild the matrix from it), a journal (records are
+// keyed by it) or a resume set (completed cells are looked up by it).
+// Plain in-process runs skip the spec marshalling entirely.
 func (o Options) execFor(family string, spec gridSpec) campaign.ExecOptions {
 	e := o.exec()
-	if o.Dispatch == nil {
+	if o.Dispatch == nil && o.Journal == nil && o.Resume == nil {
 		return e
 	}
 	spec.Quick = o.Quick

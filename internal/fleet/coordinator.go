@@ -2,37 +2,103 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
-	"os/exec"
 	"sync"
+	"time"
 
 	"pi2/internal/campaign"
 )
 
-// Config describes a worker pool.
+// Config describes a worker fleet.
 type Config struct {
-	// Workers is the number of worker processes (min 1).
+	// Workers is the number of local worker processes (min 1). Ignored
+	// when Hosts is set.
 	Workers int
-	// Command is the argv spawning one worker; it must speak the fleet
-	// protocol on stdin/stdout. Default: the running binary with -worker
-	// appended, i.e. []string{os.Executable(), "-worker"}.
+	// Command is the argv spawning one local worker; it must speak the
+	// fleet protocol on stdin/stdout. Default: the running binary with
+	// -worker appended, i.e. []string{os.Executable(), "-worker"}.
 	Command []string
-	// Env is appended to the parent environment for each worker.
+	// Env is appended to the parent environment for each local worker.
 	Env []string
-	// Stderr receives the workers' stderr (default os.Stderr): cell
-	// panics are caught inside the worker, so anything here is diagnostic.
+	// Hosts, when non-empty, replaces local workers with TCP connections
+	// to `pi2bench -serve` hosts: each Host contributes Host.Workers
+	// slots, with its composition overrides applied to their init.
+	Hosts []Host
+	// Stderr receives the workers' stderr, each line prefixed [w<pid>]
+	// (default os.Stderr): cell panics are caught inside the worker, so
+	// anything here is diagnostic.
 	Stderr io.Writer
-	// OnSpawn, if set, observes each worker process ID as it starts —
-	// the crash-recovery tests use it to aim their SIGKILLs.
+	// OnSpawn, if set, observes each worker process ID as its connection
+	// handshakes — the crash-recovery tests use it to aim their signals.
 	OnSpawn func(pid int)
+
+	// Heartbeat is the interval workers emit liveness envelopes at while
+	// a cell runs; the coordinator declares a worker dead after
+	// hbReadFactor silent intervals (default 1s, so detection within 4s).
+	Heartbeat time.Duration
+	// HandshakeTimeout bounds the hello and ready reads (default 10s).
+	HandshakeTimeout time.Duration
+	// ReconnectAttempts is how many times a broken redialable link is
+	// re-established before its slot is abandoned (default 6).
+	ReconnectAttempts int
+	// ReconnectBase and ReconnectCap shape the exponential backoff
+	// between attempts: base<<attempt, capped, ±50% jitter (defaults
+	// 100ms and 3s).
+	ReconnectBase, ReconnectCap time.Duration
+
+	// ChaosSeed, when non-zero, wraps every dialed connection in a seeded
+	// flakyConn (drops, stalls, partial writes, truncated frames) to
+	// prove records survive connection chaos byte-identically. The crash
+	// budget is raised to chaosCrashBudget so injected faults don't
+	// exhaust a real campaign's Retries+1.
+	ChaosSeed int64
+	// Chaos tunes the injected fault mix (zero value = defaults).
+	Chaos ChaosProfile
 }
 
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return defaultHeartbeat
+}
+
+func (c Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c Config) reconnectAttempts() int {
+	if c.ReconnectAttempts > 0 {
+		return c.ReconnectAttempts
+	}
+	return 6
+}
+
+// chaosCrashBudget replaces Retries+1 as the per-cell crash budget under
+// -fleet-chaos: injected connection faults charge the same ledger as real
+// worker deaths, and the default budget would starve real campaigns' cells
+// long before the chaos proves anything.
+const chaosCrashBudget = 63
+
+// deadlineMargin pads the coordinator's total-cell deadline past the
+// worker-side watchdog budget (Timeout+Grace): the worker's own watchdog
+// must get every fair chance to return a TimedOut record before the
+// coordinator declares the worker itself wedged.
+const deadlineMargin = 10 * time.Second
+
 // Pool is a fleet coordinator: it implements campaign.Dispatcher over a
-// set of persistent worker processes. Workers are spawned lazily on the
-// first Dispatch and re-initialized (not re-spawned) for each subsequent
-// matrix, so a multi-experiment invocation pays process startup once.
+// set of persistent worker links — spawned child processes (stdio) or
+// remote `pi2bench -serve` hosts (TCP). Links are established lazily on
+// the first Dispatch and re-initialized (not re-dialed) for each
+// subsequent matrix, so a multi-experiment invocation pays connection
+// setup once.
 type Pool struct {
 	cfg Config
 
@@ -41,18 +107,22 @@ type Pool struct {
 	spawned bool
 }
 
-// worker is one coordinator-side process handle. Its fields are owned by
+// worker is one coordinator-side slot. Its connection fields are owned by
 // the goroutine driving it during a Dispatch; dead transitions once.
 type worker struct {
-	cmd  *exec.Cmd
-	in   io.WriteCloser
-	enc  *json.Encoder
-	dec  *json.Decoder
-	pid  int
-	dead bool
+	tr   Transport
+	over Overrides
+	slot int
+
+	conn  Conn
+	enc   *json.Encoder
+	dec   *json.Decoder
+	pid   int
+	dials int
+	dead  bool
 }
 
-// NewPool builds a pool; no processes start until the first Dispatch.
+// NewPool builds a pool; no connections open until the first Dispatch.
 func NewPool(cfg Config) *Pool {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -63,29 +133,40 @@ func NewPool(cfg Config) *Pool {
 	return &Pool{cfg: cfg}
 }
 
-// Close terminates every worker. Closing stdin asks for a clean exit (the
-// worker's read loop returns on EOF); Kill covers the ones that don't.
+// Close severs every link. For local workers, closing stdin asks for a
+// clean exit and Kill covers the ones that don't (procConn.Close); remote
+// hosts just see the connection drop and keep serving other coordinators.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, w := range p.workers {
-		if w.in != nil {
-			w.in.Close()
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
 		}
-		if w.cmd.Process != nil {
-			w.cmd.Process.Kill()
-		}
-		w.cmd.Wait()
 	}
 	p.workers = nil
 	p.spawned = false
 }
 
-func (p *Pool) spawnLocked() {
+// buildSlotsLocked materializes the worker slots (without dialing).
+func (p *Pool) buildSlotsLocked() {
 	if p.spawned {
 		return
 	}
 	p.spawned = true
+	if len(p.cfg.Hosts) > 0 {
+		slot := 0
+		for _, h := range p.cfg.Hosts {
+			for i := 0; i < h.Workers; i++ {
+				p.workers = append(p.workers, &worker{
+					tr: &tcpTransport{addr: h.Addr}, over: h.Over, slot: slot,
+				})
+				slot++
+			}
+		}
+		return
+	}
 	argv := p.cfg.Command
 	if len(argv) == 0 {
 		exe, err := os.Executable()
@@ -96,39 +177,132 @@ func (p *Pool) spawnLocked() {
 		argv = []string{exe, "-worker"}
 	}
 	for i := 0; i < p.cfg.Workers; i++ {
-		w, err := spawnWorker(argv, p.cfg.Env, p.cfg.Stderr)
-		if err != nil {
-			fmt.Fprintf(p.cfg.Stderr, "fleet: spawn worker %d: %v\n", i, err)
-			continue
-		}
-		if p.cfg.OnSpawn != nil {
-			p.cfg.OnSpawn(w.pid)
-		}
-		p.workers = append(p.workers, w)
+		p.workers = append(p.workers, &worker{
+			tr:   &procTransport{argv: argv, env: p.cfg.Env, stderr: p.cfg.Stderr},
+			slot: i,
+		})
 	}
 }
 
-func spawnWorker(argv, env []string, stderr io.Writer) (*worker, error) {
-	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), env...)
-	cmd.Stderr = stderr
-	in, err := cmd.StdinPipe()
+// permErr marks a failure that redialing cannot fix: protocol or binary
+// drift, an unknown task family, a matrix-size disagreement. Slots failing
+// permanently are dismissed without burning reconnect attempts.
+type permErr struct{ error }
+
+func permanent(err error) bool {
+	var p permErr
+	return errors.As(err, &p)
+}
+
+// establish dials the slot's transport and performs the connection
+// handshake: the worker speaks first with hello{proto, fingerprint, pid},
+// and a drifted binary is rejected here — explicitly, before any matrix
+// state — rather than surfacing as a matrix-size heuristic later.
+func (p *Pool) establish(w *worker) error {
+	conn, err := w.tr.Dial()
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("dial: %w", err)
 	}
-	out, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
+	w.dials++
+	if p.cfg.ChaosSeed != 0 {
+		seed := p.cfg.ChaosSeed ^ int64(uint64(w.slot)*0x9E3779B97F4A7C15) ^ int64(w.dials)<<32
+		conn = newFlakyConn(conn, seed, p.cfg.Chaos)
 	}
-	if err := cmd.Start(); err != nil {
-		return nil, err
+	dec := json.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(p.cfg.handshakeTimeout()))
+	var hello envelope
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("read hello: %w", err)
 	}
-	return &worker{
-		cmd: cmd, in: in,
-		enc: json.NewEncoder(in),
-		dec: json.NewDecoder(out),
-		pid: cmd.Process.Pid,
-	}, nil
+	conn.SetReadDeadline(time.Time{})
+	if hello.Type != "hello" {
+		conn.Close()
+		return permErr{fmt.Errorf("handshake: got %q, want hello (pre-handshake worker?)", hello.Type)}
+	}
+	if hello.Proto != ProtoVersion {
+		conn.Close()
+		return permErr{fmt.Errorf("protocol drift: worker speaks v%d, coordinator v%d — rebuild and redeploy one binary",
+			hello.Proto, ProtoVersion)}
+	}
+	if hello.FP != Fingerprint() {
+		conn.Close()
+		return permErr{fmt.Errorf("binary drift: worker fingerprint %.12s… != coordinator %.12s… — deploy the same build everywhere",
+			hello.FP, Fingerprint())}
+	}
+	w.conn, w.dec, w.enc, w.pid = conn, dec, json.NewEncoder(conn), hello.Pid
+	if p.cfg.OnSpawn != nil {
+		p.cfg.OnSpawn(hello.Pid)
+	}
+	return nil
+}
+
+// tryInit (re)establishes the link if needed and initializes the worker
+// for this matrix, applying the slot's composition overrides.
+func (p *Pool) tryInit(w *worker, tasks []campaign.Task, opt campaign.ExecOptions) error {
+	if w.conn == nil {
+		if err := p.establish(w); err != nil {
+			return err
+		}
+	}
+	init := initEnvelope(opt, w.over, p.cfg.heartbeat().Nanoseconds())
+	if err := w.enc.Encode(init); err != nil {
+		return fmt.Errorf("init write: %w", err)
+	}
+	// Matrix building is cheap (a registered source decoding a small
+	// spec); a generous multiple of the handshake budget bounds it.
+	w.conn.SetReadDeadline(time.Now().Add(3 * p.cfg.handshakeTimeout()))
+	var ready envelope
+	if err := w.dec.Decode(&ready); err != nil {
+		return fmt.Errorf("init read: %w", err)
+	}
+	w.conn.SetReadDeadline(time.Time{})
+	switch {
+	case ready.Type != "ready":
+		return permErr{fmt.Errorf("protocol: got %q, want ready", ready.Type)}
+	case ready.Err != "":
+		return permErr{errors.New(ready.Err)}
+	case ready.Tasks != len(tasks):
+		return permErr{fmt.Errorf("matrix size mismatch: worker built %d tasks, coordinator has %d",
+			ready.Tasks, len(tasks))}
+	}
+	return nil
+}
+
+// backoff returns the wait before reconnect attempt k: capped exponential
+// with ±50% jitter, so a rebooting host isn't hammered in lockstep by
+// every slot that lost a connection to it.
+func (p *Pool) backoff(attempt int) time.Duration {
+	base := p.cfg.ReconnectBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.cfg.ReconnectCap
+	if max <= 0 {
+		max = 3 * time.Second
+	}
+	d := base << attempt
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// initWorker brings one slot to a ready state for this matrix, redialing
+// through backoff when the transport supports it. Returns false when the
+// slot should sit the campaign out.
+func (p *Pool) initWorker(w *worker, tasks []campaign.Task, opt campaign.ExecOptions) bool {
+	for attempt := 0; ; attempt++ {
+		err := p.tryInit(w, tasks, opt)
+		if err == nil {
+			return true
+		}
+		p.disconnect(w, fmt.Sprintf("init: %v", err))
+		if permanent(err) || !w.tr.Redial() || attempt >= p.cfg.reconnectAttempts() {
+			return false
+		}
+		time.Sleep(p.backoff(attempt))
+	}
 }
 
 // dispatchState is the shared cell ledger for one Dispatch call.
@@ -138,17 +312,25 @@ type dispatchState struct {
 	queue       []int // cells not currently running, FIFO (re-dispatches at front)
 	outstanding int   // cells without a final record
 	crashes     map[int]int
+	done        chan struct{} // closed when outstanding hits 0
 }
 
-func newDispatchState(n int) *dispatchState {
+// newDispatchState builds the ledger for n cells, excluding the skip set
+// (cells a resumed campaign already has final records for).
+func newDispatchState(n int, skip map[int]bool) *dispatchState {
 	st := &dispatchState{
-		queue:       make([]int, n),
-		outstanding: n,
-		crashes:     make(map[int]int),
+		crashes: make(map[int]int),
+		done:    make(chan struct{}),
 	}
 	st.cond = sync.NewCond(&st.mu)
-	for i := range st.queue {
-		st.queue[i] = i
+	for i := 0; i < n; i++ {
+		if !skip[i] {
+			st.queue = append(st.queue, i)
+			st.outstanding++
+		}
+	}
+	if st.outstanding == 0 {
+		close(st.done)
 	}
 	return st
 }
@@ -178,8 +360,19 @@ func (s *dispatchState) finish() {
 	s.outstanding--
 	if s.outstanding == 0 {
 		s.cond.Broadcast()
+		close(s.done)
 	}
 	s.mu.Unlock()
+}
+
+// drained reports whether every cell has its final record.
+func (s *dispatchState) drained() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // crashCount reports how many worker deaths cell i has survived.
@@ -191,17 +384,17 @@ func (s *dispatchState) crashCount(i int) int {
 
 // crashed records a worker death while cell i was in flight and decides
 // its fate: requeue at the front (true) while the crash budget lasts, or
-// give up (false). The budget is Retries+1 re-dispatches: a process death
+// give up (false). The budget is budget+1 re-dispatches: a process death
 // says nothing deterministic about the cell (the usual cause is memory
 // pressure), so even a no-retries campaign gets one more try on a
-// surviving worker. The dying worker's driver exits after this call, so
-// wake an idle sibling to steal the requeued cell.
-func (s *dispatchState) crashed(i, retries int) (requeue bool, n int) {
+// surviving worker. The dying worker's driver may exit after this call,
+// so wake an idle sibling to steal the requeued cell.
+func (s *dispatchState) crashed(i, budget int) (requeue bool, n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crashes[i]++
 	n = s.crashes[i]
-	if n <= retries+1 {
+	if n <= budget+1 {
 		s.queue = append([]int{i}, s.queue...)
 		s.cond.Broadcast()
 		return true, n
@@ -224,11 +417,11 @@ func (s *dispatchState) remaining() []int {
 func (p *Pool) Dispatch(tasks []campaign.Task, opt campaign.ExecOptions, emit func(campaign.RunRecord)) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.spawnLocked()
+	p.buildSlotsLocked()
 
 	live := p.initWorkers(tasks, opt)
 
-	st := newDispatchState(len(tasks))
+	st := newDispatchState(len(tasks), opt.SkipDone)
 
 	var wg sync.WaitGroup
 	for _, w := range live {
@@ -256,108 +449,184 @@ func (p *Pool) Dispatch(tasks []campaign.Task, opt campaign.ExecOptions, emit fu
 	return nil
 }
 
-// initWorkers (re)initializes every worker for this matrix and returns the
-// usable ones. A worker that fails init (pipe error, unknown family, or a
-// matrix-size disagreement — the latter two mean the worker binary drifted
-// from the coordinator) is marked dead and sits out the campaign.
+// initWorkers (re)initializes every slot for this matrix and returns the
+// usable ones. A slot that fails init permanently (binary drift, unknown
+// family, matrix-size disagreement) or exhausts its reconnect budget is
+// marked dead and sits out the campaign.
 func (p *Pool) initWorkers(tasks []campaign.Task, opt campaign.ExecOptions) []*worker {
 	var live []*worker
-	init := initEnvelope(opt)
 	for _, w := range p.workers {
 		if w.dead {
 			continue
 		}
-		if err := w.enc.Encode(init); err != nil {
-			p.kill(w, fmt.Sprintf("init write: %v", err))
-			continue
-		}
-		var hello envelope
-		if err := w.dec.Decode(&hello); err != nil {
-			p.kill(w, fmt.Sprintf("init read: %v", err))
-			continue
-		}
-		switch {
-		case hello.Err != "":
-			p.kill(w, hello.Err)
-		case hello.Tasks != len(tasks):
-			p.kill(w, fmt.Sprintf("matrix size mismatch: worker built %d tasks, coordinator has %d",
-				hello.Tasks, len(tasks)))
-		default:
+		if p.initWorker(w, tasks, opt) {
 			live = append(live, w)
+		} else {
+			p.killSlot(w)
 		}
 	}
 	return live
 }
 
 // drive runs one worker's request/response loop until the queue drains or
-// the worker dies (any pipe error), in which case its in-flight cell is
-// requeued or — past the crash budget — recorded as failed.
+// the worker dies. A connection failure requeues the in-flight cell (or —
+// past the crash budget — records it failed), then the link is re-dialed
+// with backoff when the transport supports it; only when reconnection is
+// impossible or exhausted does the driver exit and the slot die.
 func (p *Pool) drive(w *worker, tasks []campaign.Task, opt campaign.ExecOptions,
 	st *dispatchState, emit func(campaign.RunRecord)) {
+	budget := opt.Retries
+	if p.cfg.ChaosSeed != 0 && budget < chaosCrashBudget {
+		budget = chaosCrashBudget
+	}
 	for {
 		i, ok := st.take()
 		if !ok {
 			return
 		}
-		rec, err := p.runCell(w, i)
-		if err != nil {
-			p.kill(w, fmt.Sprintf("cell %d: %v", i, err))
-			requeue, n := st.crashed(i, opt.Retries)
-			if !requeue {
-				t := tasks[i]
-				emit(campaign.RunRecord{
-					Name: t.Name, Index: i,
-					Seed:     campaign.DeriveSeed(opt.BaseSeed, t.SeedIndex),
-					Params:   t.Params,
-					Err:      fmt.Sprintf("fleet: cell killed %d worker process(es); crash budget exhausted", n),
-					Attempts: n,
-				})
-				st.finish()
-			}
+		rec, err := p.runCell(w, i, opt)
+		if err == nil {
+			// Crash count is execution metadata: re-dispatched cells
+			// surface how many process deaths they survived without
+			// perturbing the record's deterministic payload.
+			rec.Attempts += st.crashCount(i)
+			emit(rec)
+			st.finish()
+			continue
+		}
+		p.disconnect(w, fmt.Sprintf("cell %d: %v", i, err))
+		requeue, n := st.crashed(i, budget)
+		if !requeue {
+			t := tasks[i]
+			emit(campaign.RunRecord{
+				Name: t.Name, Index: i,
+				Seed:     campaign.DeriveSeed(opt.BaseSeed, t.SeedIndex),
+				Params:   t.Params,
+				Err:      fmt.Sprintf("fleet: cell killed %d worker link(s); crash budget exhausted", n),
+				Attempts: n,
+			})
+			st.finish()
+		}
+		if !p.reestablish(w, tasks, opt, st) {
+			p.killSlot(w)
 			return
 		}
-		// Crash count is execution metadata: re-dispatched cells surface
-		// how many process deaths they survived without perturbing the
-		// record's deterministic payload.
-		rec.Attempts += st.crashCount(i)
-		emit(rec)
-		st.finish()
 	}
 }
 
-// runCell sends one run request and reads the record back. Any error means
-// the worker can no longer be trusted (the protocol is strictly serial, so
-// a partial read has no recovery point).
-func (p *Pool) runCell(w *worker, i int) (campaign.RunRecord, error) {
+// reestablish re-dials a broken link mid-campaign with capped backoff +
+// jitter, re-handshakes and re-inits so the slot rejoins the steal pool.
+// It gives up — reporting false — when the transport cannot redial, the
+// failure is permanent (drift), the attempts are exhausted, or the grid
+// drains while waiting (nothing left to rejoin for).
+func (p *Pool) reestablish(w *worker, tasks []campaign.Task, opt campaign.ExecOptions,
+	st *dispatchState) bool {
+	if !w.tr.Redial() {
+		return false
+	}
+	for attempt := 0; attempt < p.cfg.reconnectAttempts(); attempt++ {
+		select {
+		case <-st.done:
+			return false
+		case <-time.After(p.backoff(attempt)):
+		}
+		err := p.tryInit(w, tasks, opt)
+		if err == nil {
+			fmt.Fprintf(p.cfg.Stderr, "fleet: worker %d (%s) reconnected after %d attempt(s)\n",
+				w.pid, w.tr, attempt+1)
+			return true
+		}
+		p.disconnect(w, fmt.Sprintf("reconnect %d/%d: %v", attempt+1, p.cfg.reconnectAttempts(), err))
+		if permanent(err) {
+			return false
+		}
+	}
+	return false
+}
+
+// runCell sends one run request and reads heartbeats until the record
+// arrives. Every read is bounded: by the heartbeat deadline (hbReadFactor
+// silent intervals means the worker process is wedged — SIGSTOP, livelock
+// — even if its host is reachable), and by the cell's total budget when a
+// watchdog is armed (Timeout+Grace+margin: a worker still heartbeating
+// past the point its own watchdog must have fired is wedged in grace
+// handling). Any error means the worker can no longer be trusted — the
+// protocol is strictly serial, so a partial read has no recovery point.
+func (p *Pool) runCell(w *worker, i int, opt campaign.ExecOptions) (campaign.RunRecord, error) {
 	var rec campaign.RunRecord
 	if err := w.enc.Encode(envelope{Type: "run", Index: i}); err != nil {
 		return rec, fmt.Errorf("write: %w", err)
 	}
-	var env envelope
-	if err := w.dec.Decode(&env); err != nil {
-		return rec, fmt.Errorf("read: %w", err)
+	var total time.Time
+	if t := opt.Watchdog.Timeout; t > 0 {
+		grace := opt.Watchdog.Grace
+		if grace <= 0 {
+			grace = time.Second
+		}
+		total = time.Now().Add(t + grace + deadlineMargin)
 	}
-	if env.Type != "record" || env.Index != i {
-		return rec, fmt.Errorf("protocol: got %q for index %d, want record for %d", env.Type, env.Index, i)
+	deadlines := true
+	for {
+		if deadlines {
+			d := time.Now().Add(hbReadFactor * p.cfg.heartbeat())
+			if !total.IsZero() && total.Before(d) {
+				d = total
+			}
+			if err := w.conn.SetReadDeadline(d); err != nil {
+				deadlines = false // transport can't enforce them; fall back to blocking reads
+			}
+		}
+		var env envelope
+		if err := w.dec.Decode(&env); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return rec, fmt.Errorf("liveness: no heartbeat within %v (worker wedged, not slow)",
+					hbReadFactor*p.cfg.heartbeat())
+			}
+			return rec, fmt.Errorf("read: %w", err)
+		}
+		switch env.Type {
+		case "hb":
+			if env.Index != i {
+				return rec, fmt.Errorf("protocol: heartbeat for cell %d while running %d", env.Index, i)
+			}
+		case "record":
+			if deadlines {
+				w.conn.SetReadDeadline(time.Time{})
+			}
+			if env.Index != i {
+				return rec, fmt.Errorf("protocol: record for index %d, want %d", env.Index, i)
+			}
+			if env.Err != "" {
+				return rec, fmt.Errorf("worker: %s", env.Err)
+			}
+			return campaign.DecodeRecord(env.Rec)
+		default:
+			return rec, fmt.Errorf("protocol: got %q for index %d, want record", env.Type, env.Index)
+		}
 	}
-	if env.Err != "" {
-		return rec, fmt.Errorf("worker: %s", env.Err)
-	}
-	return campaign.DecodeRecord(env.Rec)
 }
 
-// kill marks a worker dead and reaps its process.
-func (p *Pool) kill(w *worker, why string) {
+// disconnect tears down a slot's current link (killing and reaping the
+// child for the process transport) without declaring the slot dead — the
+// redial path may bring it back.
+func (p *Pool) disconnect(w *worker, why string) {
+	if w.conn == nil {
+		return
+	}
+	fmt.Fprintf(p.cfg.Stderr, "fleet: worker %d (%s) link lost (%s)\n", w.pid, w.tr, why)
+	w.conn.Close()
+	w.conn, w.enc, w.dec = nil, nil, nil
+}
+
+// killSlot marks a slot permanently dead for this pool.
+func (p *Pool) killSlot(w *worker) {
 	if w.dead {
 		return
 	}
 	w.dead = true
-	fmt.Fprintf(p.cfg.Stderr, "fleet: worker %d lost (%s)\n", w.pid, why)
-	if w.in != nil {
-		w.in.Close()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn, w.enc, w.dec = nil, nil, nil
 	}
-	if w.cmd.Process != nil {
-		w.cmd.Process.Kill()
-	}
-	w.cmd.Wait()
+	fmt.Fprintf(p.cfg.Stderr, "fleet: worker slot %d (%s) dismissed\n", w.slot, w.tr)
 }

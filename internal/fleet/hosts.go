@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Overrides are the per-host composition knobs a -hosts inventory line may
+// set. They override the coordinator's campaign-wide -shards/-ff for cells
+// dispatched to that host — a 64-core host can shard deeper than a 4-core
+// one — at a cost the operator must opt into knowingly: shard count and
+// fast-forward change a cell's (deterministic but distinct) event
+// interleaving, so a fleet with overrides is no longer byte-identical to
+// `-jobs 1`. Inventories without overrides keep the identity contract.
+type Overrides struct {
+	Shards    int
+	ShardsSet bool
+	FF        bool
+	FFSet     bool
+}
+
+// Host is one line of a -hosts inventory: a worker host (started with
+// `pi2bench -serve`) plus how many connections to open to it and its
+// composition overrides.
+type Host struct {
+	// Addr is the host's listen address (host:port).
+	Addr string
+	// Workers is how many coordinator connections to dial — each is an
+	// independent worker slot running one cell at a time, so it is the
+	// host's cell-level parallelism. Default 1.
+	Workers int
+	// Overrides are the host's composition knobs.
+	Over Overrides
+}
+
+// ParseHosts reads a host inventory: one host per line,
+//
+//	addr [workers=N] [shards=K] [ff=true|false]
+//
+// with '#' comments and blank lines ignored. Example:
+//
+//	# big box takes 8 cells at a time, 4-way sharded each
+//	10.0.0.7:9000  workers=8 shards=4
+//	10.0.0.9:9000  workers=2
+func ParseHosts(r io.Reader) ([]Host, error) {
+	var hosts []Host
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		h := Host{Addr: fields[0], Workers: 1}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("hosts line %d: %q is not key=value", line, f)
+			}
+			switch k {
+			case "workers":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("hosts line %d: workers=%q (want a positive integer)", line, v)
+				}
+				h.Workers = n
+			case "shards":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("hosts line %d: shards=%q (want a positive integer)", line, v)
+				}
+				h.Over.Shards, h.Over.ShardsSet = n, true
+			case "ff":
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					return nil, fmt.Errorf("hosts line %d: ff=%q (want a bool)", line, v)
+				}
+				h.Over.FF, h.Over.FFSet = b, true
+			default:
+				return nil, fmt.Errorf("hosts line %d: unknown key %q (want workers, shards or ff)", line, k)
+			}
+		}
+		hosts = append(hosts, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("hosts inventory is empty")
+	}
+	return hosts, nil
+}

@@ -1,0 +1,52 @@
+package fleet_test
+
+import (
+	"strings"
+	"testing"
+
+	"pi2/internal/fleet"
+)
+
+func TestParseHosts(t *testing.T) {
+	inv := `
+# production fleet
+10.0.0.7:9000  workers=8 shards=4
+10.0.0.9:9000  workers=2 ff=true   # trailing comment
+10.0.0.11:9000
+`
+	hosts, err := fleet.ParseHosts(strings.NewReader(inv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("parsed %d hosts, want 3", len(hosts))
+	}
+	h := hosts[0]
+	if h.Addr != "10.0.0.7:9000" || h.Workers != 8 || !h.Over.ShardsSet || h.Over.Shards != 4 || h.Over.FFSet {
+		t.Errorf("host 0 = %+v", h)
+	}
+	h = hosts[1]
+	if h.Addr != "10.0.0.9:9000" || h.Workers != 2 || !h.Over.FFSet || !h.Over.FF || h.Over.ShardsSet {
+		t.Errorf("host 1 = %+v", h)
+	}
+	h = hosts[2]
+	if h.Addr != "10.0.0.11:9000" || h.Workers != 1 || h.Over.ShardsSet || h.Over.FFSet {
+		t.Errorf("host 2 = %+v (workers should default to 1, no overrides)", h)
+	}
+}
+
+func TestParseHostsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "# only comments\n\n",
+		"bad pair":    "h:1 workers\n",
+		"bad workers": "h:1 workers=0\n",
+		"bad shards":  "h:1 shards=-2\n",
+		"bad ff":      "h:1 ff=maybe\n",
+		"unknown key": "h:1 retries=3\n",
+	}
+	for name, inv := range cases {
+		if _, err := fleet.ParseHosts(strings.NewReader(inv)); err == nil {
+			t.Errorf("%s: inventory %q parsed without error", name, inv)
+		}
+	}
+}

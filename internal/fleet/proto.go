@@ -1,39 +1,66 @@
-// Package fleet shards a campaign across OS worker processes. The
-// coordinator (Pool) spawns N copies of the running binary in worker mode,
-// speaks a newline-delimited JSON protocol over their stdin/stdout, and
-// pull-dispatches cells one at a time — a worker asks for work implicitly
-// by finishing its previous cell, so slow cells never straggle a whole
-// worker's queue (work-stealing degenerates to "steal everything not yet
-// started"). Records stream back to the engine's emit funnel as they
-// arrive; nothing grid-sized accumulates here.
+// Package fleet shards a campaign across worker processes — local children
+// or remote hosts. The coordinator (Pool) speaks a newline-delimited JSON
+// protocol over a Transport (stdio pipes to a spawned `pi2bench -worker`,
+// or TCP to a `pi2bench -serve` host) and pull-dispatches cells one at a
+// time — a worker asks for work implicitly by finishing its previous cell,
+// so slow cells never straggle a whole worker's queue (work-stealing
+// degenerates to "steal everything not yet started"). Records stream back
+// to the engine's emit funnel as they arrive; nothing grid-sized
+// accumulates here.
 //
 // Determinism: a worker rebuilds the identical task matrix from the
 // (family, spec) pair via campaign.RegisterSource and runs each dispatched
 // cell through campaign.RunOne — the same DeriveSeed/PerturbSeed/watchdog
 // machinery as the in-process pool. Which process runs a cell therefore
-// cannot affect its record, so `-workers N` output is byte-identical to
-// `-jobs M` for every N and M.
+// cannot affect its record, so `-workers N` (or any `-hosts` fleet) output
+// is byte-identical to `-jobs M`.
 //
-// Crash tolerance: a worker that dies (OOM kill, SIGKILL, panic outside
-// the cell sandbox) surfaces as an encoder/decoder error on its pipes. Its
-// in-flight cell is re-dispatched to a surviving worker at the same seed —
-// a process death says nothing about the cell, so the retry is attempt 0
-// again, keeping records identical — with a bounded crash budget
-// (Retries+1) before the cell is recorded as failed. If every worker dies,
-// the remaining cells run in-process: the coordinator still holds the real
-// task closures.
+// Fault model, built fault-first: every connection starts with a version +
+// build-fingerprint handshake (drifted binaries are rejected explicitly,
+// not discovered via wrong numbers); a worker running a cell heartbeats,
+// and the coordinator bounds every read by the heartbeat deadline — so a
+// hung-but-alive worker (SIGSTOP, livelock) is distinguished from a slow
+// cell and killed through the same crash-budget path as a dead one. A
+// dropped connection re-dials with capped exponential backoff + jitter
+// when the transport supports it (TCP); its in-flight cell re-dispatches
+// to a sibling at the same seed. If every worker is gone the remaining
+// cells run in-process: the coordinator still holds the real closures.
 package fleet
 
-import "pi2/internal/campaign"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"sync"
+
+	"pi2/internal/campaign"
+)
+
+// ProtoVersion is the fleet wire-protocol generation. A coordinator and
+// worker disagreeing on it are rejected at handshake, before any cell
+// runs. v1 was the PR 9 stdio protocol (init/hello, no handshake, no
+// heartbeats); v2 added hello-first handshake with build fingerprints,
+// heartbeat envelopes, and per-slot composition overrides.
+const ProtoVersion = 2
 
 // envelope is one protocol message. Type discriminates; unused fields stay
 // at their zero values and are omitted from the wire.
 type envelope struct {
 	Type string `json:"t"`
 
+	// hello (worker → coordinator, once per connection, worker speaks
+	// first) and init (coordinator → worker): Proto and FP carry each
+	// side's protocol version and build fingerprint; either side rejects
+	// a mismatch explicitly instead of trusting matrix-size luck.
+	Proto int    `json:"proto,omitempty"`
+	FP    string `json:"fp,omitempty"`
+	Pid   int    `json:"pid,omitempty"`
+
 	// init (coordinator → worker): identifies the matrix and carries the
 	// execution knobs that must match the in-process pool for records to
-	// be bit-identical.
+	// be bit-identical. Shards/FastForward may be overridden per host by
+	// a -hosts inventory line (see Host).
 	Family         string `json:"family,omitempty"`
 	Spec           []byte `json:"spec,omitempty"`
 	BaseSeed       int64  `json:"base_seed,omitempty"`
@@ -45,15 +72,19 @@ type envelope struct {
 	WDStallNs      int64  `json:"wd_stall_ns,omitempty"`
 	WDPollNs       int64  `json:"wd_poll_ns,omitempty"`
 	WDGraceNs      int64  `json:"wd_grace_ns,omitempty"`
+	// HbNs is the coordinator-chosen heartbeat interval: while a cell
+	// runs, the worker emits one hb envelope per interval and the
+	// coordinator treats hbReadFactor missed intervals as a dead worker.
+	HbNs int64 `json:"hb_ns,omitempty"`
 
-	// hello (worker → coordinator): init acknowledgement. Tasks echoes the
-	// rebuilt matrix size so a source drift between binaries is caught
-	// before any cell runs; Err reports a worker-side init failure.
-	Pid   int    `json:"pid,omitempty"`
+	// ready (worker → coordinator): init acknowledgement. Tasks echoes
+	// the rebuilt matrix size — with fingerprints equal a mismatch should
+	// be impossible, but it stays as a belt-and-braces spec-drift check;
+	// Err reports a worker-side init failure.
 	Tasks int    `json:"tasks,omitempty"`
 	Err   string `json:"err,omitempty"`
 
-	// run (coordinator → worker) and record (worker → coordinator).
+	// run (coordinator → worker), hb and record (worker → coordinator).
 	Index int `json:"index"`
 	// Rec is the gob-encoded RunRecord (campaign.EncodeRecord); JSON
 	// base64s it. Gob, not JSON, because Result/Params hold typed values
@@ -61,21 +92,69 @@ type envelope struct {
 	Rec []byte `json:"rec,omitempty"`
 }
 
-// initEnvelope builds the init message for one Dispatch call.
-func initEnvelope(opt campaign.ExecOptions) envelope {
+// hbReadFactor is how many heartbeat intervals of silence the coordinator
+// tolerates before declaring a worker dead. >1 absorbs scheduler jitter
+// between the worker's ticker and the coordinator's read deadline.
+const hbReadFactor = 4
+
+// fingerprint identifies this build: the SHA-256 of the executable file
+// itself. Two binaries built from drifted sources cannot share it, and a
+// binary copied to another host keeps it — exactly the equality the
+// multi-host fleet needs. Computed once; errors degrade to a sentinel
+// that only matches itself on the same failure mode.
+var (
+	fpOnce sync.Once
+	fpVal  string
+)
+
+// Fingerprint returns this process's build fingerprint.
+func Fingerprint() string {
+	fpOnce.Do(func() {
+		fpVal = "unknown"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fpVal = hex.EncodeToString(h.Sum(nil))
+	})
+	return fpVal
+}
+
+// initEnvelope builds the init message for one Dispatch call, with the
+// slot's per-host composition overrides applied.
+func initEnvelope(opt campaign.ExecOptions, over Overrides, hbNs int64) envelope {
+	shards, ff := opt.Shards, opt.FastForward
+	if over.ShardsSet {
+		shards = over.Shards
+	}
+	if over.FFSet {
+		ff = over.FF
+	}
 	return envelope{
 		Type:           "init",
+		Proto:          ProtoVersion,
+		FP:             Fingerprint(),
 		Family:         opt.Family,
 		Spec:           opt.Spec,
 		BaseSeed:       opt.BaseSeed,
-		Shards:         opt.Shards,
-		FastForward:    opt.FastForward,
+		Shards:         shards,
+		FastForward:    ff,
 		Retries:        opt.Retries,
 		RetryBackoffNs: opt.RetryBackoff.Nanoseconds(),
 		WDTimeoutNs:    opt.Watchdog.Timeout.Nanoseconds(),
 		WDStallNs:      opt.Watchdog.Stall.Nanoseconds(),
 		WDPollNs:       opt.Watchdog.Poll.Nanoseconds(),
 		WDGraceNs:      opt.Watchdog.Grace.Nanoseconds(),
+		HbNs:           hbNs,
 	}
 }
 

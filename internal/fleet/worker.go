@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"time"
 
@@ -12,18 +13,74 @@ import (
 
 func durationNs(ns int64) time.Duration { return time.Duration(ns) }
 
+// defaultHeartbeat is the heartbeat interval used when the coordinator's
+// init doesn't choose one (and the coordinator-side default in Config).
+const defaultHeartbeat = time.Second
+
 // Serve runs the worker side of the fleet protocol until the coordinator
-// closes our stdin (clean shutdown) or the pipe breaks. The loop is
-// strictly serial — one cell at a time, replying before reading the next
-// message — which is what lets the coordinator treat any pipe error as
-// "this worker is gone" without a timeout protocol. pi2bench calls it from
-// the -worker flag; test binaries call it from TestMain behind an env
+// closes our stdin (clean shutdown) or the pipe breaks. pi2bench calls it
+// from the -worker flag; test binaries call it from TestMain behind an env
 // gate.
 func Serve(r io.Reader, w io.Writer) error {
-	dec := json.NewDecoder(r)
-	enc := json.NewEncoder(w)
+	return serveConn(struct {
+		io.Reader
+		io.Writer
+	}{r, w})
+}
+
+// ServeTCP runs a worker host: it listens on addr and serves the fleet
+// protocol to every coordinator connection concurrently — a -hosts line
+// with workers=N dials N connections, so N cells run in parallel here.
+// The actual listen address is announced on out ("fleet: listening on …"),
+// which is how scripts recover the port from addr ":0". Runs until the
+// listener breaks; per-connection errors are logged to errw and do not
+// stop the host (the coordinator re-dials through its backoff path).
+func ServeTCP(addr string, out, errw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	fmt.Fprintf(out, "fleet: listening on %s\n", ln.Addr())
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fleet: accept: %w", err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			fmt.Fprintf(errw, "fleet: coordinator %s connected\n", c.RemoteAddr())
+			if err := serveConn(c); err != nil {
+				fmt.Fprintf(errw, "fleet: coordinator %s: %v\n", c.RemoteAddr(), err)
+				return
+			}
+			fmt.Fprintf(errw, "fleet: coordinator %s disconnected\n", c.RemoteAddr())
+		}(nc)
+	}
+}
+
+// serveConn speaks one connection's worth of protocol: hello first (the
+// worker always speaks first so both transports handshake identically),
+// then init/run cycles until EOF. The message loop is strictly serial from
+// the coordinator's point of view — one cell at a time, the record sent
+// before the next message is read — but while a cell runs on its own
+// goroutine the loop emits heartbeat envelopes, which is what lets the
+// coordinator's read deadlines tell a wedged worker from a slow cell.
+func serveConn(conn io.ReadWriter) error {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(envelope{
+		Type: "hello", Proto: ProtoVersion, FP: Fingerprint(), Pid: os.Getpid(),
+	}); err != nil {
+		return fmt.Errorf("fleet worker: write hello: %w", err)
+	}
 	var tasks []campaign.Task
 	var opt campaign.ExecOptions
+	hb := defaultHeartbeat
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -35,8 +92,17 @@ func Serve(r io.Reader, w io.Writer) error {
 		switch env.Type {
 		case "init":
 			tasks, opt = nil, env.execOptions()
-			reply := envelope{Type: "hello", Pid: os.Getpid()}
-			if src, ok := campaign.LookupSource(env.Family); !ok {
+			if env.HbNs > 0 {
+				hb = durationNs(env.HbNs)
+			}
+			reply := envelope{Type: "ready"}
+			if env.Proto != ProtoVersion {
+				reply.Err = fmt.Sprintf("protocol drift: coordinator speaks v%d, worker v%d — rebuild and redeploy one binary",
+					env.Proto, ProtoVersion)
+			} else if env.FP != Fingerprint() {
+				reply.Err = fmt.Sprintf("binary drift: coordinator fingerprint %.12s… != worker %.12s… — deploy the same build everywhere",
+					env.FP, Fingerprint())
+			} else if src, ok := campaign.LookupSource(env.Family); !ok {
 				reply.Err = fmt.Sprintf("unknown task source %q", env.Family)
 			} else if built, err := src(env.Spec); err != nil {
 				reply.Err = fmt.Sprintf("task source %q: %v", env.Family, err)
@@ -45,35 +111,66 @@ func Serve(r io.Reader, w io.Writer) error {
 				reply.Tasks = len(built)
 			}
 			if err := enc.Encode(reply); err != nil {
-				return fmt.Errorf("fleet worker: write hello: %w", err)
+				return fmt.Errorf("fleet worker: write ready: %w", err)
 			}
 		case "run":
-			reply := envelope{Type: "record", Index: env.Index}
-			if env.Index < 0 || env.Index >= len(tasks) {
-				reply.Err = fmt.Sprintf("index %d outside matrix of %d", env.Index, len(tasks))
-			} else {
-				rec := campaign.RunOne(tasks[env.Index], env.Index, opt)
-				b, err := campaign.EncodeRecord(&rec)
-				if err != nil {
-					// An unregistered result type can't cross the wire;
-					// strip it and surface the failure in the record so the
-					// table prints FAILED instead of the campaign wedging.
-					rec.Result = nil
-					rec.Err = fmt.Sprintf("fleet: result not wire-encodable: %v", err)
-					b, err = campaign.EncodeRecord(&rec)
-				}
-				if err != nil {
-					reply.Err = fmt.Sprintf("encode record %d: %v", env.Index, err)
-				} else {
-					reply.Rec = b
-				}
-			}
-			if err := enc.Encode(reply); err != nil {
-				return fmt.Errorf("fleet worker: write record: %w", err)
+			if err := runWithHeartbeats(enc, tasks, opt, env.Index, hb); err != nil {
+				return err
 			}
 		default:
 			// Ignore unknown message types: a newer coordinator may probe
 			// capabilities; silence is the compatible answer.
 		}
 	}
+}
+
+// runWithHeartbeats executes one cell on its own goroutine while the
+// connection goroutine ticks hb envelopes, then sends the record. A write
+// error on either means the coordinator is gone; the cell goroutine is
+// left to finish into a buffered channel (its result is discarded — the
+// coordinator has already requeued the cell elsewhere).
+func runWithHeartbeats(enc *json.Encoder, tasks []campaign.Task,
+	opt campaign.ExecOptions, index int, hb time.Duration) error {
+	done := make(chan envelope, 1)
+	go func() { done <- runEnvelope(tasks, opt, index) }()
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case reply := <-done:
+			if err := enc.Encode(reply); err != nil {
+				return fmt.Errorf("fleet worker: write record: %w", err)
+			}
+			return nil
+		case <-ticker.C:
+			if err := enc.Encode(envelope{Type: "hb", Index: index}); err != nil {
+				return fmt.Errorf("fleet worker: write heartbeat: %w", err)
+			}
+		}
+	}
+}
+
+// runEnvelope runs one dispatched cell and packages its record.
+func runEnvelope(tasks []campaign.Task, opt campaign.ExecOptions, index int) envelope {
+	reply := envelope{Type: "record", Index: index}
+	if index < 0 || index >= len(tasks) {
+		reply.Err = fmt.Sprintf("index %d outside matrix of %d", index, len(tasks))
+		return reply
+	}
+	rec := campaign.RunOne(tasks[index], index, opt)
+	b, err := campaign.EncodeRecord(&rec)
+	if err != nil {
+		// An unregistered result type can't cross the wire; strip it and
+		// surface the failure in the record so the table prints FAILED
+		// instead of the campaign wedging.
+		rec.Result = nil
+		rec.Err = fmt.Sprintf("fleet: result not wire-encodable: %v", err)
+		b, err = campaign.EncodeRecord(&rec)
+	}
+	if err != nil {
+		reply.Err = fmt.Sprintf("encode record %d: %v", index, err)
+	} else {
+		reply.Rec = b
+	}
+	return reply
 }

@@ -77,15 +77,28 @@ type Fingerprint struct {
 	Runs         []Run  `json:"runs,omitempty"`
 }
 
+// Exec carries the execution-side knobs a capture can route through. The
+// zero value is a plain serial in-process run; none of the fields can
+// change a fingerprint — that invariance is precisely what the fleet,
+// chaos and resume CI jobs check by comparing captures across Execs.
+type Exec struct {
+	// Jobs is the in-process worker count (0 = serial).
+	Jobs int
+	// Dispatch routes campaigns through a fleet of worker processes.
+	Dispatch campaign.Dispatcher
+	// Journal receives every final record; Resume replays a previous
+	// journal, skipping its completed cells.
+	Journal campaign.JournalSink
+	Resume  campaign.ResumeSet
+}
+
 // Capture runs the named experiment at golden scale and reduces it to a
-// fingerprint. Worker count affects only wall-clock time, never the result
-// (seeds derive from (Seed, cell index); records are sorted by identity).
-// A non-nil dispatch routes the campaign through a fleet of worker
-// processes — fingerprints are identical either way, which is exactly what
-// the CI fleet-smoke job checks. A cell that fails — including an
+// fingerprint. The Exec knobs affect only wall-clock time and fault
+// tolerance, never the result (seeds derive from (Seed, cell index);
+// records are sorted by identity). A cell that fails — including an
 // invariant-auditor violation, which the runner raises as a panic carrying
 // the full report — turns into an error naming the cell.
-func Capture(name string, jobs int, dispatch campaign.Dispatcher) (*Fingerprint, error) {
+func Capture(name string, ex Exec) (*Fingerprint, error) {
 	exp, ok := campaign.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("golden: unknown experiment %q", name)
@@ -95,9 +108,11 @@ func Capture(name string, jobs int, dispatch campaign.Dispatcher) (*Fingerprint,
 		Quick:     true,
 		TimeDiv:   TimeDiv,
 		Seed:      Seed,
-		Jobs:      jobs,
+		Jobs:      ex.Jobs,
 		Collector: col,
-		Dispatch:  dispatch,
+		Dispatch:  ex.Dispatch,
+		Journal:   ex.Journal,
+		Resume:    ex.Resume,
 	}
 	var buf bytes.Buffer
 	if err := exp.Run(ctx, &buf); err != nil {
@@ -317,12 +332,12 @@ func Save(dir string, fp *Fingerprint) error {
 // Check captures one experiment at golden scale and compares it against its
 // baseline. It returns the mismatches (empty slice on success) — a non-nil
 // error means the capture or baseline load itself failed.
-func Check(name string, jobs int, dir string, dispatch campaign.Dispatcher) ([]Mismatch, error) {
+func Check(name string, dir string, ex Exec) ([]Mismatch, error) {
 	want, err := Baseline(name, dir)
 	if err != nil {
 		return nil, err
 	}
-	got, err := Capture(name, jobs, dispatch)
+	got, err := Capture(name, ex)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,7 @@ func TestRegistryAgainstGoldens(t *testing.T) {
 	for _, name := range campaign.AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			mismatches, err := Check(name, 0, "", nil)
+			mismatches, err := Check(name, "", Exec{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,11 +38,11 @@ func TestRegistryAgainstGoldens(t *testing.T) {
 // worker count. Exact equality, no tolerance bands.
 func TestCaptureDeterministicAcrossJobs(t *testing.T) {
 	for _, name := range []string{"sweep", "dualq"} {
-		one, err := Capture(name, 1, nil)
+		one, err := Capture(name, Exec{Jobs: 1})
 		if err != nil {
 			t.Fatalf("%s jobs=1: %v", name, err)
 		}
-		eight, err := Capture(name, 8, nil)
+		eight, err := Capture(name, Exec{Jobs: 8})
 		if err != nil {
 			t.Fatalf("%s jobs=8: %v", name, err)
 		}
